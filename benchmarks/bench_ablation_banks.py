@@ -1,0 +1,56 @@
+"""Ablation: SWW banks per GE (paper section 5).
+
+The paper: "We empirically evaluate how SWW banks and GEs interact and
+find that 4 banks per GE works well to minimize banking while avoiding
+contention."  This benchmark turns on the bank-conflict model and sweeps
+banks/GE to reproduce that conclusion: contention stalls collapse by
+4 banks/GE and the curve flattens beyond it.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.compiler import OptLevel, compile_circuit
+from repro.sim.config import HaacConfig
+from repro.sim.timing import simulate
+from repro.workloads import get_workload
+
+_BANKS = (1, 2, 4, 8)
+
+
+def _rows():
+    built = get_workload("DotProd").build_scaled()
+    rows = []
+    for banks in _BANKS:
+        config = HaacConfig(
+            n_ges=16, sww_bytes=64 * 1024,
+            banks_per_ge=banks, model_bank_conflicts=True,
+        )
+        compiled = compile_circuit(
+            built.circuit, config.window, config.n_ges,
+            opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+        )
+        sim = simulate(compiled.streams, config)
+        rows.append([
+            banks,
+            config.n_banks,
+            sim.stalls.bank_conflict,
+            sim.compute_cycles,
+        ])
+    return rows
+
+
+def test_ablation_banks(benchmark, record_result):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    text = render_table(
+        ["Banks/GE", "Total banks", "Conflict stalls", "Compute cycles"],
+        rows,
+        title="Ablation: SWW banking (DotProd, 16 GEs, conflicts modelled)",
+    )
+    conflicts = {row[0]: row[2] for row in rows}
+    cycles = {row[0]: row[3] for row in rows}
+    # Conflicts decrease monotonically with banking.
+    assert conflicts[1] >= conflicts[2] >= conflicts[4] >= conflicts[8]
+    # 4 banks/GE is within 5 % of 8 banks/GE compute time -- the paper's
+    # "works well" point; 1 bank/GE is measurably worse.
+    assert cycles[4] <= cycles[8] * 1.05
+    assert cycles[1] >= cycles[4]
+    record_result("ablation_banks", text)

@@ -1,0 +1,63 @@
+"""Ablation: what is HAAC's memory-compute decoupling worth?
+
+The paper's central architectural claim (section 3.1.4): pushing OoR
+wires through compiler-scheduled queues converts all off-chip movement
+to streams and fully overlaps it with execution.  This benchmark
+compares three memory models on the same compiled streams:
+
+* decoupled (the paper's design): runtime = max(compute, traffic);
+* coupled with finite queue SRAM: GEs can outrun the prefetcher;
+* pull-based OoR (the strawman): every OoR wire is a demand miss.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.compiler import OptLevel, compile_circuit
+from repro.sim.config import HaacConfig
+from repro.sim.coupled import coupled_runtime, pull_based_runtime
+from repro.sim.timing import simulate
+from repro.workloads import get_workload
+
+_WORKLOADS = ("DotProd", "Hamm", "BubbSt")
+
+
+def _rows():
+    rows = []
+    config = HaacConfig(n_ges=16, sww_bytes=64 * 1024)
+    for name in _WORKLOADS:
+        built = get_workload(name).build_scaled()
+        compiled = compile_circuit(
+            built.circuit, config.window, config.n_ges,
+            opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+        )
+        decoupled = simulate(compiled.streams, config)
+        coupled = coupled_runtime(compiled.streams, config)
+        starved = coupled_runtime(
+            compiled.streams, config, queue_bytes_per_ge=256
+        )
+        pull = pull_based_runtime(compiled.streams, config)
+        rows.append([
+            name,
+            decoupled.runtime_s * 1e6,
+            coupled.slowdown_vs_decoupled,
+            starved.slowdown_vs_decoupled,
+            pull.slowdown_vs_decoupled,
+        ])
+    return rows
+
+
+def test_ablation_decoupling(benchmark, record_result):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    text = render_table(
+        ["Benchmark", "Decoupled (us)", "Coupled 4KB/GE",
+         "Coupled 256B/GE", "Pull-based OoR"],
+        rows,
+        title="Ablation: memory-compute decoupling (slowdowns vs decoupled)",
+    )
+    for row in rows:
+        # Provisioned queues recover the decoupled performance...
+        assert row[2] < 1.25, row
+        # ...starved queues and pull-based misses do not.
+        assert row[4] >= row[2] * 0.999, row
+    # Pull-based OoR must hurt at least one workload materially.
+    assert max(row[4] for row in rows) > 1.2
+    record_result("ablation_decoupling", text)

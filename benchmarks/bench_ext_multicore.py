@@ -1,0 +1,52 @@
+"""Extension: multiple HAAC cores (the paper's future-work direction).
+
+Section 6.5 suggests "higher levels of parallelism (e.g., multiple HAAC
+cores)" to close the remaining gap to plaintext.  This benchmark shards
+the batch-parallel ReLU workload (independent connected components)
+across 1-4 cores sharing one HBM2 interface, and contrasts it with
+GradDesc, whose single dependence component cannot be sharded at all.
+"""
+
+from repro.analysis.report import render_table
+from repro.sim.config import HaacConfig
+from repro.sim.dram import HBM2
+from repro.sim.multicore import simulate_multicore
+from repro.workloads import get_workload
+
+
+def _rows():
+    config = HaacConfig(n_ges=4, sww_bytes=16 * 1024, dram=HBM2)
+    rows = []
+    for name, params in (("ReLU", {"k": 128, "width": 16}),
+                         ("GradDesc", {"n_points": 2, "rounds": 1})):
+        built = get_workload(name).build(**params)
+        for n_cores in (1, 2, 4):
+            result = simulate_multicore(built.circuit, config, n_cores)
+            rows.append([
+                name, n_cores, result.shards,
+                max(result.core_compute_cycles),
+                result.runtime_s * 1e6,
+                result.speedup_vs_single_core,
+            ])
+    return rows
+
+
+def test_ext_multicore(benchmark, record_result):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    text = render_table(
+        ["Workload", "Cores", "Shards", "Max core compute", "Runtime(us)",
+         "Speedup vs 1-core"],
+        rows,
+        title=(
+            "Extension: multi-core HAAC sharing one HBM2 interface "
+            "(paper section 6.5 future work)"
+        ),
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+    # Batch workload: per-core compute shrinks with more cores.
+    assert (
+        by_key[("ReLU", 4)][3] <= by_key[("ReLU", 1)][3]
+    )
+    # Serial workload: a single component, no sharding possible.
+    assert by_key[("GradDesc", 4)][2] == 1
+    record_result("ext_multicore", text)

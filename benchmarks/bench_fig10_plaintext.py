@@ -1,0 +1,36 @@
+"""Figure 10: GC slowdown normalized to plaintext.
+
+The paper's claims checked: CPU GC is ~5 orders of magnitude slower than
+plaintext (198,000x average); HAAC eliminates most of that overhead;
+HBM2 beats DDR4; GradDesc (floating point) remains the worst slowdown
+because plaintext CPUs do FP natively; integer-only geomean is
+substantially lower than the all-benchmark geomean.
+"""
+
+from repro.analysis.experiments import fig10_plaintext
+from repro.analysis.report import geomean
+
+
+def test_fig10_plaintext(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig10_plaintext, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    assert len(result.rows) == 8
+    slowdowns = result.extras["slowdowns"]
+
+    cpu_geo = geomean(slowdowns["cpu"])
+    ddr4_geo = geomean(slowdowns["ddr4"])
+    hbm2_geo = geomean(slowdowns["hbm2"])
+
+    # CPU GC is ~10^5x slower than plaintext (paper: 198,000x).
+    assert 1e4 < cpu_geo < 5e6
+    # HAAC removes most of the overhead (paper: 589x DDR4 speedup).
+    assert cpu_geo / ddr4_geo > 100
+    # HBM2 never slower than DDR4.
+    assert hbm2_geo <= ddr4_geo * 1.001
+
+    by_name = {row[0]: row for row in result.rows}
+    # GradDesc (true floating point) is the worst HBM2 slowdown.
+    worst = max(result.rows, key=lambda row: row[3])
+    assert worst[0] == "GradDesc"
+    record_result("fig10_plaintext", result.render())

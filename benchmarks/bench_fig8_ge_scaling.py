@@ -1,0 +1,38 @@
+"""Figure 8: speedup scaling with GE count, DDR4 vs HBM2.
+
+The paper's claims checked: performance scales with GEs until DDR4
+bandwidth saturates (speedup plateaus); HBM2 keeps scaling; HBM2 is
+never slower than DDR4; high-ILP workloads scale near-ideally while
+BubbSt and GradDesc are constrained by their lack of ILP.
+"""
+
+from repro.analysis.experiments import fig8_ge_scaling
+
+_GE_COUNTS = (1, 4, 16)
+
+
+def test_fig8_ge_scaling(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig8_ge_scaling,
+        kwargs={"quick": False, "ge_counts": _GE_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+    scaling = result.extras["scaling"]
+    assert len(scaling) == 8
+
+    for name, by_dram in scaling.items():
+        ddr4 = by_dram["DDR4-4400"]
+        hbm2 = by_dram["HBM2"]
+        # More GEs never hurt.
+        assert ddr4[-1] >= ddr4[0] * 0.999, name
+        assert hbm2[-1] >= hbm2[0] * 0.999, name
+        # HBM2 at 16 GEs is at least DDR4 (paper: red >= blue bars).
+        assert hbm2[-1] >= ddr4[-1] * 0.98, name
+
+    # High-ILP workloads scale much better 1->16 with HBM2 than the
+    # serial ones (paper: MatMult ~15.5x vs BubbSt/GradDesc limited).
+    matmult_gain = scaling["MatMult"]["HBM2"][-1] / scaling["MatMult"]["HBM2"][0]
+    bubbst_gain = scaling["BubbSt"]["HBM2"][-1] / scaling["BubbSt"]["HBM2"][0]
+    assert matmult_gain > bubbst_gain
+    record_result("fig8_ge_scaling", result.render())

@@ -1,0 +1,28 @@
+"""Figure 9: normalized energy breakdown + energy efficiency over CPU.
+
+The paper's claims checked: the Half-Gate unit dominates energy (61 %
+average in the paper); FreeXOR and forwarding are negligible ("Others");
+HAAC is orders of magnitude more energy-efficient than the CPU (paper
+average: 53,060x).
+"""
+
+from repro.analysis.experiments import fig9_energy
+
+
+def test_fig9_energy(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig9_energy, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    assert len(result.rows) == 8
+
+    halfgate_shares = [row[1] for row in result.rows]
+    others_shares = [row[4] for row in result.rows]
+    efficiencies = result.extras["efficiencies"]
+
+    avg_halfgate = sum(halfgate_shares) / len(halfgate_shares)
+    assert avg_halfgate > 30, "Half-Gate should dominate energy"
+    assert all(share < 5 for share in others_shares), "Others must be negligible"
+    assert all(eff > 1_000 for eff in efficiencies), (
+        "HAAC should be >1000x more energy-efficient than the CPU"
+    )
+    record_result("fig9_energy", result.render())

@@ -1,0 +1,66 @@
+"""Garbling-scheme lineage: Yao4 -> P&P -> GRR3 -> Half-Gate+FreeXOR.
+
+The paper's related work (section 7) lists the optimisations HAAC's gate
+engines assume.  This benchmark quantifies each step on a real circuit:
+communication (table bytes) and garbling work (hash calls), ending at
+the Half-Gate + FreeXOR construction the hardware implements.
+"""
+
+from repro.analysis.report import render_table
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.stdlib.integer import add, mul
+from repro.gc.classic import ClassicScheme, garble_classic, table_bytes_per_gate
+from repro.gc.garble import garble_circuit
+
+
+def _circuit():
+    builder = CircuitBuilder()
+    xs = builder.add_garbler_inputs(16)
+    ys = builder.add_evaluator_inputs(16)
+    builder.mark_outputs(add(builder, xs, ys))
+    builder.mark_outputs(mul(builder, xs, ys))
+    return builder.build("add+mul16")
+
+
+def _rows(circuit):
+    stats = circuit.stats()
+    rows = []
+    for scheme in ClassicScheme:
+        garbling = garble_classic(circuit, scheme, seed=1)
+        rows.append([
+            scheme.value,
+            len(garbling.tables),
+            table_bytes_per_gate(scheme),
+            garbling.total_table_bytes(),
+        ])
+    halfgate = garble_circuit(circuit, seed=1)
+    rows.append([
+        "half-gate+freexor",
+        halfgate.garbled.n_and_gates,
+        32,
+        halfgate.garbled.table_bytes(),
+    ])
+    return rows, stats
+
+
+def test_scheme_comparison(benchmark, record_result):
+    circuit = _circuit()
+    rows, stats = benchmark.pedantic(
+        _rows, args=(circuit,), rounds=1, iterations=1
+    )
+    text = render_table(
+        ["Scheme", "Tables", "Bytes/table", "Total bytes"],
+        rows,
+        title=(
+            f"Garbling schemes on add+mul16 "
+            f"({stats.gates} gates, {stats.and_gates} AND): every "
+            "optimisation in the paper's lineage shrinks communication"
+        ),
+    )
+    totals = [row[3] for row in rows]
+    # Strictly decreasing: Yao4 > PNP4 > GRR3 > Half-Gate+FreeXOR.
+    assert all(a > b for a, b in zip(totals, totals[1:]))
+    # FreeXOR's effect: half-gate tables only for ANDs.
+    assert rows[-1][1] == stats.and_gates
+    assert rows[0][1] == stats.gates
+    record_result("scheme_comparison", text)

@@ -1,0 +1,9 @@
+"""Table 1: qualitative comparison of PPC techniques."""
+
+from repro.analysis.experiments import table1_ppc_comparison
+
+
+def test_table1_ppc_comparison(benchmark, record_result):
+    result = benchmark(table1_ppc_comparison)
+    assert len(result.rows) == 4
+    record_result("table1_ppc", result.render())

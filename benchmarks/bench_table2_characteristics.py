@@ -1,0 +1,22 @@
+"""Table 2: benchmark characteristics (levels, gates, AND%, ILP, spent%).
+
+Regenerates the paper's workload-characterisation table on the scaled
+VIP-Bench circuits; paper-scale values are shown alongside for
+comparison.
+"""
+
+from repro.analysis.experiments import table2_characteristics
+
+
+def test_table2_characteristics(benchmark, record_result):
+    result = benchmark.pedantic(
+        table2_characteristics, kwargs={"quick": False}, rounds=1, iterations=1
+    )
+    assert len(result.rows) == 8
+    by_name = {row[0]: row for row in result.rows}
+    # Structural anchors from the paper that must hold at any scale:
+    assert by_name["ReLU"][1] == 2  # two dependence levels
+    assert by_name["ReLU"][4] > 90  # ~97 % AND
+    assert by_name["Hamm"][4] < 30  # popcount is XOR-heavy
+    assert by_name["BubbSt"][5] < by_name["MatMult"][5]  # ILP ordering
+    record_result("table2_characteristics", result.render())

@@ -1,0 +1,51 @@
+"""Table 4: chip area and power breakdown (16 GE / 2 MB SWW / 64 banks).
+
+The model is anchored to the paper's post-layout numbers and must
+reproduce them exactly at the reference design point; the benchmark also
+sweeps design points to show the parameterisation.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table4_area_power
+from repro.analysis.report import render_table
+from repro.hwmodel.area import area_model
+from repro.hwmodel.power import power_model
+from repro.sim.config import HaacConfig
+
+
+def test_table4_area_power(benchmark, record_result):
+    result = benchmark(table4_area_power)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["Total HAAC"][1] == pytest.approx(4.33, abs=0.02)
+    assert by_name["Total HAAC"][2] == pytest.approx(1502, abs=1)
+    assert by_name["HBM2 PHY"][1] == pytest.approx(14.9)
+    record_result("table4_area_power", result.render())
+
+
+def test_table4_design_sweep(benchmark, record_result):
+    """Area/power across GE counts and SWW sizes (model extension)."""
+
+    def sweep():
+        rows = []
+        for n_ges in (1, 4, 16):
+            for sww_mb in (0.5, 1, 2):
+                config = HaacConfig(
+                    n_ges=n_ges, sww_bytes=int(sww_mb * 1024 * 1024)
+                )
+                area = area_model(config)
+                power = power_model(config)
+                rows.append(
+                    [n_ges, sww_mb, area.total_haac, power.total_haac / 1e3]
+                )
+        return rows
+
+    rows = benchmark(sweep)
+    text = render_table(
+        ["GEs", "SWW (MB)", "Area (mm2)", "Power (W)"],
+        rows,
+        title="Table 4 extension: design-point sweep",
+    )
+    # Area must be monotone in both axes.
+    assert rows[0][2] < rows[-1][2]
+    record_result("table4_design_sweep", text)

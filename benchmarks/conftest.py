@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows (run with ``pytest benchmarks/
+--benchmark-only -s`` to see them).  Results are also appended to
+``benchmarks/results/`` as text files so EXPERIMENTS.md can reference a
+stable artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Persist a rendered experiment table under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Design-space exploration: GEs x SWW x DRAM with area/power/energy.
+
+Uses the timing simulator plus the Table 4 hardware model to sweep HAAC
+design points for one workload, reporting performance, silicon cost and
+energy -- the kind of study the paper's sections 6.3/6.4 perform.
+
+Run:  python examples/design_space.py [workload]
+"""
+
+import sys
+
+from repro.analysis.report import render_table
+from repro.core.compiler import OptLevel, compile_circuit
+from repro.hwmodel.area import area_model
+from repro.hwmodel.energy import energy_model
+from repro.sim.config import HaacConfig
+from repro.sim.dram import DDR4, HBM2
+from repro.sim.timing import simulate
+from repro.workloads import PAPER_ORDER, get_workload
+
+
+def sweep(name: str) -> None:
+    built = get_workload(name).build_scaled()
+    rows = []
+    for n_ges in (2, 8, 16):
+        for sww_kb in (16, 64):
+            for dram in (DDR4, HBM2):
+                config = HaacConfig(
+                    n_ges=n_ges, sww_bytes=sww_kb * 1024, dram=dram
+                )
+                compiled = compile_circuit(
+                    built.circuit, config.window, config.n_ges,
+                    opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+                )
+                sim = simulate(compiled.streams, config)
+                area = area_model(config)
+                energy = energy_model(sim, config)
+                rows.append([
+                    n_ges, sww_kb, dram.name,
+                    sim.runtime_s * 1e6,
+                    area.total_haac,
+                    energy.total * 1e6,
+                    sim.runtime_s * 1e6 * area.total_haac,  # perf-area product
+                ])
+    rows.sort(key=lambda row: row[3])
+    print(render_table(
+        ["GEs", "SWW(KB)", "DRAM", "Runtime(us)", "Area(mm2)",
+         "Energy(uJ)", "us*mm2"],
+        rows,
+        title=f"Design-space sweep for {name} (sorted by runtime)",
+    ))
+    best = min(rows, key=lambda row: row[6])
+    print(f"\nBest perf-area product: {best[0]} GEs / {best[1]} KB / {best[2]}")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "DotProd"
+    if name not in PAPER_ORDER:
+        raise SystemExit(f"unknown workload {name!r}; pick from {PAPER_ORDER}")
+    sweep(name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so ``pip install -e . --no-use-pep517``
+works on machines without the ``wheel`` package (e.g. offline CI).
+"""
+
+from setuptools import setup
+
+setup()

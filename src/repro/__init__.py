@@ -1,0 +1,43 @@
+"""HAAC: A Hardware-Software Co-Design to Accelerate Garbled Circuits.
+
+Full Python reproduction of Mo, Gopinath & Reagen (ISCA 2023):
+
+* :mod:`repro.gc` -- garbled-circuits substrate (AES, Half-Gates,
+  FreeXOR, OT, two-party protocol), built from scratch;
+* :mod:`repro.circuits` -- circuit IR, builder DSL, integer/float
+  stdlib, Bristol format I/O;
+* :mod:`repro.workloads` -- the eight VIP-Bench workloads;
+* :mod:`repro.core` -- the paper's contribution: the HAAC ISA and the
+  optimizing compiler (reorder, rename, ESW, stream generation);
+* :mod:`repro.sim` -- cycle-level timing simulator and the functional
+  HAAC machine that executes compiled streams with real cryptography;
+* :mod:`repro.hwmodel` -- area / power / energy models (Table 4);
+* :mod:`repro.baselines` -- EMP-on-CPU and plaintext cost models, prior
+  accelerator data (Table 5);
+* :mod:`repro.analysis` -- one driver per evaluation table and figure.
+
+Quickstart::
+
+    from repro.workloads import get_workload
+    from repro.sim import HaacConfig, run_haac
+
+    built = get_workload("ReLU").build_scaled()
+    run = run_haac(built.circuit, HaacConfig.paper_hbm())
+    print(run.sim.summary())
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, baselines, circuits, core, gc, hwmodel, sim, workloads
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "circuits",
+    "core",
+    "gc",
+    "hwmodel",
+    "sim",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""ASCII charts: terminal renderings of the paper's figures.
+
+The evaluation figures are bar charts (often log-scale).  These helpers
+render :class:`~repro.analysis.experiments.ExperimentResult` data as
+monospace bars so ``python -m repro figures`` can show the *shape* of
+each figure without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["bar_chart", "grouped_bar_chart", "log_bar_chart", "stacked_shares"]
+
+_FULL = "#"
+_WIDTH = 48
+
+
+def _scale(value: float, maximum: float, width: int) -> int:
+    if maximum <= 0 or value <= 0:
+        return 0
+    return max(1, round(width * value / maximum))
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    title: str = "",
+    width: int = _WIDTH,
+    unit: str = "",
+) -> str:
+    """One horizontal bar per (label, value), linear scale."""
+    if not items:
+        return title
+    maximum = max(value for _, value in items)
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = _FULL * _scale(value, maximum, width)
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    items: Sequence[Tuple[str, float]],
+    title: str = "",
+    width: int = _WIDTH,
+    unit: str = "",
+) -> str:
+    """Horizontal bars on a log10 scale (the paper's speedup axes)."""
+    positive = [(label, value) for label, value in items if value > 0]
+    if not positive:
+        return title
+    logs = [math.log10(value) for _, value in positive]
+    low = min(min(logs), 0.0)
+    high = max(logs)
+    span = max(high - low, 1e-9)
+    label_width = max(len(label) for label, _ in positive)
+    lines = [title] if title else []
+    for (label, value), lv in zip(positive, logs):
+        bar = _FULL * max(1, round(width * (lv - low) / span))
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[Tuple[str, Sequence[Tuple[str, float]]]],
+    title: str = "",
+    width: int = _WIDTH,
+    log: bool = True,
+) -> str:
+    """Clustered bars: one cluster per group, one bar per series entry."""
+    lines = [title] if title else []
+    for group_label, series in groups:
+        lines.append(f"{group_label}:")
+        chart = (log_bar_chart if log else bar_chart)(
+            [(f"  {name}", value) for name, value in series], width=width
+        )
+        lines.append(chart)
+    return "\n".join(lines)
+
+
+def stacked_shares(
+    rows: Sequence[Tuple[str, Dict[str, float]]],
+    title: str = "",
+    width: int = _WIDTH,
+    legend: Sequence[Tuple[str, str]] = (),
+) -> str:
+    """100 %-stacked bars from {component: fraction} rows (Figure 9)."""
+    lines = [title] if title else []
+    if legend:
+        lines.append(
+            "legend: " + "  ".join(f"{char}={name}" for name, char in legend)
+        )
+    chars = dict(legend)
+    label_width = max((len(label) for label, _ in rows), default=0)
+    for label, shares in rows:
+        bar = []
+        for name, fraction in shares.items():
+            char = chars.get(name, name[0])
+            bar.append(char * max(0, round(width * fraction)))
+        lines.append(f"{label.ljust(label_width)} |{''.join(bar)[:width]}|")
+    return "\n".join(lines)

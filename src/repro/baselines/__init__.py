@@ -1,0 +1,35 @@
+"""Comparison baselines: EMP-on-CPU model, plaintext model, prior work."""
+
+from .cpu_model import (
+    DEFAULT_CPU,
+    GARBLE_OVERHEAD,
+    REKEY_OVERHEAD,
+    CpuCostModel,
+    cpu_gc_time_s,
+)
+from .plaintext import DEFAULT_PLAINTEXT, PlaintextModel, plaintext_time_s
+from .prior_work import (
+    GPU_GATES_PER_US,
+    HAAC_PAPER_GATES_PER_US,
+    MICRO_WORKLOADS,
+    PRIOR_WORK,
+    PriorWorkEntry,
+    build_micro,
+)
+
+__all__ = [
+    "CpuCostModel",
+    "DEFAULT_CPU",
+    "cpu_gc_time_s",
+    "GARBLE_OVERHEAD",
+    "REKEY_OVERHEAD",
+    "PlaintextModel",
+    "DEFAULT_PLAINTEXT",
+    "plaintext_time_s",
+    "PriorWorkEntry",
+    "PRIOR_WORK",
+    "MICRO_WORKLOADS",
+    "build_micro",
+    "GPU_GATES_PER_US",
+    "HAAC_PAPER_GATES_PER_US",
+]

@@ -1,0 +1,44 @@
+"""Plaintext CPU model (Figure 10's 1x reference).
+
+The paper compares against native C++ on the same i7-10700K.  We model
+plaintext time as ``ops x t_op`` where ``ops`` is the workload's
+arithmetic-operation count (each workload module provides it) and
+``t_op`` reflects a superscalar 3.8 GHz core retiring a few simple ops
+per cycle (~1 ns per scalar op including loop overhead; floating point
+identical -- the paper stresses the CPU does FP natively, which is why
+GradDesc's GC slowdown is extreme while its plaintext time is ordinary).
+
+The workload modules also carry genuine executable Python references,
+which serve as functional ground truth; this module is only about
+*timing* the hypothetical native implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.base import Workload
+
+__all__ = ["PlaintextModel", "DEFAULT_PLAINTEXT", "plaintext_time_s"]
+
+
+@dataclass(frozen=True)
+class PlaintextModel:
+    """Nanoseconds per plaintext arithmetic op."""
+
+    t_op_ns: float = 1.0
+
+    def time_s(self, n_ops: int) -> float:
+        return max(n_ops, 1) * self.t_op_ns * 1e-9
+
+    def time_for(self, workload: Workload, **params) -> float:
+        merged = dict(workload.scaled_params)
+        merged.update(params)
+        return self.time_s(workload.plaintext_ops(**merged))
+
+
+DEFAULT_PLAINTEXT = PlaintextModel()
+
+
+def plaintext_time_s(workload: Workload, **params) -> float:
+    return DEFAULT_PLAINTEXT.time_for(workload, **params)

@@ -1,0 +1,18 @@
+"""Circuit IR, builder DSL, stdlib combinators and Bristol I/O."""
+
+from .bristol import dumps_bristol, loads_bristol, read_bristol, write_bristol
+from .builder import CircuitBuilder
+from .netlist import Circuit, CircuitError, CircuitStats, Gate, GateOp
+
+__all__ = [
+    "Circuit",
+    "CircuitError",
+    "CircuitStats",
+    "Gate",
+    "GateOp",
+    "CircuitBuilder",
+    "read_bristol",
+    "write_bristol",
+    "loads_bristol",
+    "dumps_bristol",
+]

@@ -1,0 +1,180 @@
+"""Programmatic circuit construction.
+
+:class:`CircuitBuilder` plays the role EMP's C++ frontend plays in the
+paper's toolchain (Figure 5): high-level programs are written against it
+and it emits the Boolean netlist the HAAC assembler consumes.  Wires are
+plain integers; the builder guarantees the emitted netlist is SSA and
+topologically ordered by construction.
+
+Constants are materialised with one XOR (``w xor w == 0``) and one INV,
+so the IR stays three-op; repeated requests reuse the same wires.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .netlist import Circuit, CircuitError, Gate, GateOp
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Accumulates gates and finalizes into a validated :class:`Circuit`.
+
+    Usage::
+
+        builder = CircuitBuilder()
+        a = builder.add_garbler_inputs(32)
+        b = builder.add_evaluator_inputs(32)
+        total = adder(builder, a, b)          # stdlib combinators
+        builder.mark_outputs(total)
+        circuit = builder.build("adder32")
+    """
+
+    def __init__(self) -> None:
+        self._n_garbler_inputs = 0
+        self._n_evaluator_inputs = 0
+        self._gates: List[Gate] = []
+        self._outputs: List[int] = []
+        self._next_wire = 0
+        self._inputs_frozen = False
+        self._const_zero: int | None = None
+        self._const_one: int | None = None
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+
+    def add_garbler_inputs(self, count: int) -> List[int]:
+        """Allocate ``count`` Garbler (Alice) input wires."""
+        return self._add_inputs(count, garbler=True)
+
+    def add_evaluator_inputs(self, count: int) -> List[int]:
+        """Allocate ``count`` Evaluator (Bob) input wires."""
+        return self._add_inputs(count, garbler=False)
+
+    def _add_inputs(self, count: int, garbler: bool) -> List[int]:
+        if self._inputs_frozen:
+            raise CircuitError("cannot add inputs after the first gate")
+        if count < 0:
+            raise CircuitError("input count must be non-negative")
+        if garbler and self._n_evaluator_inputs:
+            raise CircuitError("garbler inputs must be allocated before evaluator inputs")
+        wires = list(range(self._next_wire, self._next_wire + count))
+        self._next_wire += count
+        if garbler:
+            self._n_garbler_inputs += count
+        else:
+            self._n_evaluator_inputs += count
+        return wires
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+
+    def _emit(self, op: GateOp, a: int, b: int) -> int:
+        self._freeze_inputs()
+        out = self._next_wire
+        self._next_wire += 1
+        self._gates.append(Gate(op, a, b, out))
+        return out
+
+    def _freeze_inputs(self) -> None:
+        if not self._inputs_frozen:
+            if self._next_wire == 0:
+                raise CircuitError("circuit must have at least one input wire")
+            self._inputs_frozen = True
+
+    def AND(self, a: int, b: int) -> int:
+        """Emit an AND gate (one garbled table, four hashes to garble)."""
+        self._check_wire(a)
+        self._check_wire(b)
+        return self._emit(GateOp.AND, a, b)
+
+    def XOR(self, a: int, b: int) -> int:
+        """Emit a FreeXOR gate (no table, no hashing)."""
+        self._check_wire(a)
+        self._check_wire(b)
+        return self._emit(GateOp.XOR, a, b)
+
+    def NOT(self, a: int) -> int:
+        """Emit a free INV gate."""
+        self._check_wire(a)
+        return self._emit(GateOp.INV, a, -1)
+
+    def OR(self, a: int, b: int) -> int:
+        """OR as (a xor b) xor (a and b): one table, two free XORs."""
+        return self.XOR(self.XOR(a, b), self.AND(a, b))
+
+    def NAND(self, a: int, b: int) -> int:
+        return self.NOT(self.AND(a, b))
+
+    def XNOR(self, a: int, b: int) -> int:
+        return self.NOT(self.XOR(a, b))
+
+    def _check_wire(self, wire: int) -> None:
+        if not 0 <= wire < self._next_wire:
+            raise CircuitError(f"wire {wire} does not exist yet")
+
+    # ------------------------------------------------------------------
+    # Constants
+    # ------------------------------------------------------------------
+
+    def const_zero(self) -> int:
+        """A wire carrying constant 0 (built once: w xor w)."""
+        if self._const_zero is None:
+            self._freeze_inputs()
+            self._const_zero = self._emit(GateOp.XOR, 0, 0)
+        return self._const_zero
+
+    def const_one(self) -> int:
+        """A wire carrying constant 1 (NOT of the zero wire)."""
+        if self._const_one is None:
+            self._const_one = self._emit(GateOp.INV, self.const_zero(), -1)
+        return self._const_one
+
+    def const_bit(self, bit: int) -> int:
+        return self.const_one() if bit else self.const_zero()
+
+    def const_bits(self, value: int, width: int) -> List[int]:
+        """Little-endian constant bit-vector of ``width`` bits."""
+        if width <= 0:
+            raise CircuitError("width must be positive")
+        return [self.const_bit((value >> i) & 1) for i in range(width)]
+
+    # ------------------------------------------------------------------
+    # Finalize
+    # ------------------------------------------------------------------
+
+    def mark_outputs(self, wires: Sequence[int]) -> None:
+        """Append circuit outputs (order is the output bit order)."""
+        for wire in wires:
+            self._check_wire(wire)
+        self._outputs.extend(wires)
+
+    def build(self, name: str = "circuit") -> Circuit:
+        """Validate and return the finished netlist."""
+        if not self._outputs:
+            raise CircuitError("circuit has no outputs")
+        circuit = Circuit(
+            n_garbler_inputs=self._n_garbler_inputs,
+            n_evaluator_inputs=self._n_evaluator_inputs,
+            outputs=list(self._outputs),
+            gates=list(self._gates),
+            name=name,
+        )
+        circuit.validate()
+        return circuit
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def n_wires(self) -> int:
+        return self._next_wire

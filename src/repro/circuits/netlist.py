@@ -1,0 +1,271 @@
+"""Boolean circuit intermediate representation.
+
+GCs programs are Boolean netlists: operators are gates (AND, XOR, INV),
+operands are wires, and execution order is fully determined at compile
+time -- there is no control flow (paper sections 1-2).  This IR is shared
+by the garbling substrate, the workload generators, the Bristol reader/
+writer, and the HAAC assembler.
+
+Invariants enforced by :meth:`Circuit.validate`:
+
+* wires are dense integer ids ``[0, n_wires)``;
+* wires ``[0, n_inputs)`` are primary inputs (Garbler's inputs first,
+  then the Evaluator's);
+* every non-input wire is written by exactly one gate (SSA form);
+* gates are topologically ordered (inputs of gate ``g`` are produced by
+  earlier gates or are primary inputs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+__all__ = ["GateOp", "Gate", "Circuit", "CircuitStats", "CircuitError"]
+
+
+class CircuitError(ValueError):
+    """Raised when a netlist violates an IR invariant."""
+
+
+class GateOp(enum.Enum):
+    """Boolean gate operators supported by the GC substrate.
+
+    ``INV`` is free under FreeXOR-style garbling and is lowered by the
+    HAAC assembler to an XOR with a constant-one wire, matching the
+    paper's three-op ISA (AND, XOR, NOP).
+    """
+
+    AND = "AND"
+    XOR = "XOR"
+    INV = "INV"
+
+    @property
+    def arity(self) -> int:
+        return 1 if self is GateOp.INV else 2
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One Boolean gate: ``out = op(a, b)`` (``b`` is -1 for INV)."""
+
+    op: GateOp
+    a: int
+    b: int
+    out: int
+
+    def __post_init__(self) -> None:
+        if self.op.arity == 1 and self.b != -1:
+            raise CircuitError(f"INV gate must have b == -1, got {self.b}")
+        if self.op.arity == 2 and self.b < 0:
+            raise CircuitError(f"{self.op.value} gate needs two inputs")
+        if self.a < 0 or self.out < 0:
+            raise CircuitError("wire ids must be non-negative")
+
+    def inputs(self) -> Iterator[int]:
+        yield self.a
+        if self.op.arity == 2:
+            yield self.b
+
+    def eval(self, a: int, b: int = 0) -> int:
+        if self.op is GateOp.AND:
+            return a & b
+        if self.op is GateOp.XOR:
+            return a ^ b
+        return a ^ 1
+
+
+@dataclass
+class CircuitStats:
+    """Summary statistics matching the columns of the paper's Table 2."""
+
+    levels: int
+    wires: int
+    gates: int
+    and_gates: int
+    xor_gates: int
+    inv_gates: int
+
+    @property
+    def and_fraction(self) -> float:
+        """AND share of all gates (Table 2 'AND %')."""
+        return self.and_gates / self.gates if self.gates else 0.0
+
+    @property
+    def ilp(self) -> float:
+        """Average gates per dependence level (Table 2 'ILP')."""
+        return self.gates / self.levels if self.levels else 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "levels": self.levels,
+            "wires_k": self.wires / 1e3,
+            "gates_k": self.gates / 1e3,
+            "and_pct": 100.0 * self.and_fraction,
+            "ilp": self.ilp,
+        }
+
+
+@dataclass
+class Circuit:
+    """A Boolean netlist in SSA, topologically ordered form."""
+
+    n_garbler_inputs: int
+    n_evaluator_inputs: int
+    outputs: List[int]
+    gates: List[Gate] = field(default_factory=list)
+    name: str = "circuit"
+
+    @property
+    def n_inputs(self) -> int:
+        return self.n_garbler_inputs + self.n_evaluator_inputs
+
+    @property
+    def n_wires(self) -> int:
+        return self.n_inputs + len(self.gates)
+
+    @property
+    def garbler_input_wires(self) -> range:
+        return range(0, self.n_garbler_inputs)
+
+    @property
+    def evaluator_input_wires(self) -> range:
+        return range(self.n_garbler_inputs, self.n_inputs)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check all IR invariants; raises :class:`CircuitError`."""
+        defined = [False] * self.n_wires
+        for wire in range(self.n_inputs):
+            defined[wire] = True
+        for position, gate in enumerate(self.gates):
+            for wire in gate.inputs():
+                if wire >= self.n_wires:
+                    raise CircuitError(
+                        f"gate {position} reads wire {wire} >= n_wires {self.n_wires}"
+                    )
+                if not defined[wire]:
+                    raise CircuitError(
+                        f"gate {position} reads wire {wire} before it is defined"
+                    )
+            if gate.out >= self.n_wires:
+                raise CircuitError(
+                    f"gate {position} writes wire {gate.out} >= n_wires {self.n_wires}"
+                )
+            if gate.out < self.n_inputs:
+                raise CircuitError(f"gate {position} overwrites input wire {gate.out}")
+            if defined[gate.out]:
+                raise CircuitError(f"wire {gate.out} defined twice (SSA violation)")
+            defined[gate.out] = True
+        for wire in self.outputs:
+            if wire >= self.n_wires or not defined[wire]:
+                raise CircuitError(f"output wire {wire} is undefined")
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def wire_levels(self) -> List[int]:
+        """ASAP dependence level of every wire (inputs are level 0)."""
+        level = [0] * self.n_wires
+        for gate in self.gates:
+            level[gate.out] = 1 + max(level[wire] for wire in gate.inputs())
+        return level
+
+    def gate_levels(self) -> List[int]:
+        """ASAP dependence level of every gate, 1-based like the paper."""
+        level = self.wire_levels()
+        return [level[gate.out] for gate in self.gates]
+
+    def depth(self) -> int:
+        """Circuit depth in gate levels (Table 2 '# Levels')."""
+        if not self.gates:
+            return 0
+        return max(self.gate_levels())
+
+    def stats(self) -> CircuitStats:
+        and_gates = sum(1 for g in self.gates if g.op is GateOp.AND)
+        xor_gates = sum(1 for g in self.gates if g.op is GateOp.XOR)
+        inv_gates = sum(1 for g in self.gates if g.op is GateOp.INV)
+        return CircuitStats(
+            levels=self.depth(),
+            wires=self.n_wires,
+            gates=len(self.gates),
+            and_gates=and_gates,
+            xor_gates=xor_gates,
+            inv_gates=inv_gates,
+        )
+
+    def fanout(self) -> List[int]:
+        """Number of consumers of each wire (outputs not counted)."""
+        counts = [0] * self.n_wires
+        for gate in self.gates:
+            for wire in gate.inputs():
+                counts[wire] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Plaintext execution (ground truth for all GC/HAAC paths)
+    # ------------------------------------------------------------------
+
+    def eval_plain(
+        self, garbler_bits: Sequence[int], evaluator_bits: Sequence[int]
+    ) -> List[int]:
+        """Evaluate the circuit on plaintext bits; returns output bits."""
+        if len(garbler_bits) != self.n_garbler_inputs:
+            raise CircuitError(
+                f"expected {self.n_garbler_inputs} garbler bits, got {len(garbler_bits)}"
+            )
+        if len(evaluator_bits) != self.n_evaluator_inputs:
+            raise CircuitError(
+                f"expected {self.n_evaluator_inputs} evaluator bits, got {len(evaluator_bits)}"
+            )
+        values = [0] * self.n_wires
+        for wire, bit in enumerate(garbler_bits):
+            values[wire] = bit & 1
+        for offset, bit in enumerate(evaluator_bits):
+            values[self.n_garbler_inputs + offset] = bit & 1
+        for gate in self.gates:
+            if gate.op is GateOp.AND:
+                values[gate.out] = values[gate.a] & values[gate.b]
+            elif gate.op is GateOp.XOR:
+                values[gate.out] = values[gate.a] ^ values[gate.b]
+            else:
+                values[gate.out] = values[gate.a] ^ 1
+        return [values[wire] for wire in self.outputs]
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def producer_map(self) -> Dict[int, int]:
+        """Map from output wire id to producing gate position."""
+        return {gate.out: position for position, gate in enumerate(self.gates)}
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    @staticmethod
+    def from_gates(
+        n_garbler_inputs: int,
+        n_evaluator_inputs: int,
+        gates: Iterable[Gate],
+        outputs: Sequence[int],
+        name: str = "circuit",
+    ) -> "Circuit":
+        circuit = Circuit(
+            n_garbler_inputs=n_garbler_inputs,
+            n_evaluator_inputs=n_evaluator_inputs,
+            outputs=list(outputs),
+            gates=list(gates),
+            name=name,
+        )
+        circuit.validate()
+        return circuit

@@ -1,0 +1,5 @@
+"""Reusable gate-level combinators: logic, integer, fixed, float."""
+
+from . import fixed, float as floating, integer, logic
+
+__all__ = ["logic", "integer", "fixed", "floating"]

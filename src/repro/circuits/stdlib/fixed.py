@@ -1,0 +1,65 @@
+"""Fixed-point arithmetic circuits.
+
+A lightweight Q(f) fixed-point layer over the integer stdlib: values are
+two's-complement integers scaled by ``2^fraction_bits``.  Used by
+workload variants that trade the float circuits' cost for cheap integer
+logic (the paper's integer benchmarks vs. the floating-point GradDesc).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..builder import CircuitBuilder
+from .integer import add, decode_signed, mul_full, sub
+
+__all__ = ["FixedFormat", "fx_add", "fx_sub", "fx_mul"]
+
+
+@dataclass(frozen=True)
+class FixedFormat:
+    """Width and binary-point position of a fixed-point value."""
+
+    width: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.fraction_bits < 0 or self.fraction_bits >= self.width:
+            raise ValueError("fraction_bits must be in [0, width)")
+
+    def encode(self, value: float) -> List[int]:
+        """Little-endian two's-complement bits of ``round(value * 2^f)``."""
+        scaled = int(round(value * (1 << self.fraction_bits)))
+        mask = (1 << self.width) - 1
+        scaled &= mask
+        return [(scaled >> i) & 1 for i in range(self.width)]
+
+    def decode(self, bits: Sequence[int]) -> float:
+        return decode_signed(bits) / (1 << self.fraction_bits)
+
+
+def fx_add(b: CircuitBuilder, fmt: FixedFormat, xs: Sequence[int], ys: Sequence[int]) -> List[int]:
+    """Fixed-point addition is plain integer addition."""
+    return add(b, xs, ys)
+
+
+def fx_sub(b: CircuitBuilder, fmt: FixedFormat, xs: Sequence[int], ys: Sequence[int]) -> List[int]:
+    return sub(b, xs, ys)
+
+
+def fx_mul(b: CircuitBuilder, fmt: FixedFormat, xs: Sequence[int], ys: Sequence[int]) -> List[int]:
+    """Fixed-point multiply: full signed product rescaled by 2^-f.
+
+    Sign-extends both operands to 2w, multiplies, then takes bits
+    ``[f, f + w)`` of the product (truncation toward negative infinity).
+    """
+    if len(xs) != len(ys) or len(xs) != fmt.width:
+        raise ValueError("operand widths must match the format")
+    width = fmt.width
+    ext_x = list(xs) + [xs[-1]] * width
+    ext_y = list(ys) + [ys[-1]] * width
+    # Low 2w bits of the sign-extended product equal the signed product
+    # modulo 2^2w, so slicing [f, f+w) is correct for in-range results.
+    product = mul_full(b, ext_x, ext_y)[: 2 * width]
+    return product[fmt.fraction_bits : fmt.fraction_bits + width]

@@ -1,0 +1,168 @@
+"""Generic Boolean combinators: muxes, popcounts, equality, reductions.
+
+All combinators take the builder first and bit-vectors (little-endian
+lists of wire ids) after, returning new wire lists.  Gate-count notes in
+docstrings use T = garbled tables (AND gates); XOR/INV are free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..builder import CircuitBuilder
+
+__all__ = [
+    "mux_bit",
+    "mux",
+    "equals",
+    "is_zero",
+    "any_bit",
+    "all_bits",
+    "popcount",
+    "parity",
+    "shift_left_const",
+    "shift_right_const",
+    "rotate_left_const",
+    "bitwise_and",
+    "bitwise_xor",
+    "bitwise_not",
+]
+
+
+def mux_bit(b: CircuitBuilder, sel: int, if_false: int, if_true: int) -> int:
+    """2:1 mux, 1T: out = if_false xor (sel and (if_false xor if_true))."""
+    return b.XOR(if_false, b.AND(sel, b.XOR(if_false, if_true)))
+
+
+def mux(
+    b: CircuitBuilder, sel: int, if_false: Sequence[int], if_true: Sequence[int]
+) -> List[int]:
+    """Vector 2:1 mux, nT for n-bit operands."""
+    if len(if_false) != len(if_true):
+        raise ValueError("mux operands must have equal width")
+    return [mux_bit(b, sel, f, t) for f, t in zip(if_false, if_true)]
+
+
+def bitwise_and(b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]) -> List[int]:
+    if len(xs) != len(ys):
+        raise ValueError("operands must have equal width")
+    return [b.AND(x, y) for x, y in zip(xs, ys)]
+
+
+def bitwise_xor(b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]) -> List[int]:
+    if len(xs) != len(ys):
+        raise ValueError("operands must have equal width")
+    return [b.XOR(x, y) for x, y in zip(xs, ys)]
+
+
+def bitwise_not(b: CircuitBuilder, xs: Sequence[int]) -> List[int]:
+    return [b.NOT(x) for x in xs]
+
+
+def any_bit(b: CircuitBuilder, bits: Sequence[int]) -> int:
+    """OR-reduction as a balanced tree, (n-1)T."""
+    work = list(bits)
+    if not work:
+        raise ValueError("any_bit needs at least one bit")
+    while len(work) > 1:
+        nxt = [b.OR(work[i], work[i + 1]) for i in range(0, len(work) - 1, 2)]
+        if len(work) % 2:
+            nxt.append(work[-1])
+        work = nxt
+    return work[0]
+
+
+def all_bits(b: CircuitBuilder, bits: Sequence[int]) -> int:
+    """AND-reduction as a balanced tree, (n-1)T."""
+    work = list(bits)
+    if not work:
+        raise ValueError("all_bits needs at least one bit")
+    while len(work) > 1:
+        nxt = [b.AND(work[i], work[i + 1]) for i in range(0, len(work) - 1, 2)]
+        if len(work) % 2:
+            nxt.append(work[-1])
+        work = nxt
+    return work[0]
+
+
+def parity(b: CircuitBuilder, bits: Sequence[int]) -> int:
+    """XOR-reduction, free."""
+    work = list(bits)
+    if not work:
+        raise ValueError("parity needs at least one bit")
+    acc = work[0]
+    for bit in work[1:]:
+        acc = b.XOR(acc, bit)
+    return acc
+
+
+def equals(b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]) -> int:
+    """Bit-vector equality, (n-1)T (XNOR per bit + AND tree)."""
+    if len(xs) != len(ys):
+        raise ValueError("operands must have equal width")
+    return all_bits(b, [b.XNOR(x, y) for x, y in zip(xs, ys)])
+
+
+def is_zero(b: CircuitBuilder, xs: Sequence[int]) -> int:
+    """1 iff all bits are 0, (n-1)T."""
+    return b.NOT(any_bit(b, xs))
+
+
+def popcount(b: CircuitBuilder, bits: Sequence[int]) -> List[int]:
+    """Population count via a balanced adder tree (CSA-style).
+
+    Returns a little-endian result of ceil(log2(n+1)) bits.  Uses full
+    adders (2T each) pairing equal-width partial sums, the structure the
+    Hamming-distance workload's popcount uses in VIP-Bench.
+    """
+    from .integer import add  # local import to avoid a cycle
+
+    if not bits:
+        raise ValueError("popcount needs at least one bit")
+    # Start with n one-bit numbers and repeatedly add pairs.
+    sums: List[List[int]] = [[bit] for bit in bits]
+    while len(sums) > 1:
+        nxt: List[List[int]] = []
+        for i in range(0, len(sums) - 1, 2):
+            a, c = sums[i], sums[i + 1]
+            width = max(len(a), len(c)) + 1
+            a = a + [b.const_zero()] * (width - len(a))
+            c = c + [b.const_zero()] * (width - len(c))
+            nxt.append(add(b, a, c))
+        if len(sums) % 2:
+            nxt.append(sums[-1])
+        sums = nxt
+    return sums[0]
+
+
+def shift_left_const(
+    b: CircuitBuilder, xs: Sequence[int], amount: int
+) -> List[int]:
+    """Logical shift left by a constant -- free (pure rewiring)."""
+    if amount < 0:
+        raise ValueError("shift amount must be non-negative")
+    width = len(xs)
+    zero = b.const_zero()
+    return ([zero] * min(amount, width) + list(xs))[:width]
+
+
+def shift_right_const(
+    b: CircuitBuilder, xs: Sequence[int], amount: int, arithmetic: bool = False
+) -> List[int]:
+    """Logical/arithmetic shift right by a constant -- free."""
+    if amount < 0:
+        raise ValueError("shift amount must be non-negative")
+    width = len(xs)
+    fill = xs[-1] if (arithmetic and xs) else b.const_zero()
+    if amount >= width:
+        return [fill] * width
+    return list(xs[amount:]) + [fill] * amount
+
+
+def rotate_left_const(b: CircuitBuilder, xs: Sequence[int], amount: int) -> List[int]:
+    """Rotate left by a constant -- free."""
+    width = len(xs)
+    if width == 0:
+        return []
+    amount %= width
+    return list(xs[width - amount :]) + list(xs[: width - amount])

@@ -1,0 +1,294 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``experiments`` -- regenerate any of the paper's tables/figures;
+* ``workloads``   -- list the VIP-Bench workloads or show one circuit;
+* ``compile``     -- run the compiler on a workload and report each
+  configuration's schedule/traffic;
+* ``simulate``    -- timing-simulate a workload on a chosen design point;
+* ``protocol``    -- run the real two-party millionaires' demo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .analysis import experiments as exp
+from .analysis.report import render_table
+from .core.compiler import OptLevel, compile_circuit
+from .sim.config import HaacConfig, Role
+from .sim.dram import DDR4, HBM2
+from .sim.timing import simulate
+from .workloads import PAPER_ORDER, get_workload
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS: Dict[str, Callable[..., exp.ExperimentResult]] = {
+    "table1": exp.table1_ppc_comparison,
+    "table2": exp.table2_characteristics,
+    "table3": exp.table3_wire_traffic,
+    "table4": exp.table4_area_power,
+    "table5": exp.table5_prior_work,
+    "fig6": exp.fig6_compiler_opts,
+    "fig7": exp.fig7_ordering_sww,
+    "fig8": exp.fig8_ge_scaling,
+    "fig9": exp.fig9_energy,
+    "fig10": exp.fig10_plaintext,
+}
+
+_QUICK_CAPABLE = {"table2", "table3", "table5", "fig6", "fig8", "fig9", "fig10"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HAAC (ISCA 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument(
+        "which",
+        nargs="*",
+        default=["all"],
+        help=f"experiment ids ({', '.join(_EXPERIMENTS)}) or 'all'",
+    )
+    p_exp.add_argument(
+        "--quick", action="store_true", help="3-workload subset where supported"
+    )
+
+    p_wl = sub.add_parser("workloads", help="list or inspect workloads")
+    p_wl.add_argument("name", nargs="?", help="workload to inspect")
+
+    p_c = sub.add_parser("compile", help="compile a workload at every opt level")
+    p_c.add_argument("name", choices=PAPER_ORDER)
+    p_c.add_argument("--ges", type=int, default=16)
+    p_c.add_argument("--sww-kb", type=int, default=64)
+
+    p_s = sub.add_parser("simulate", help="timing-simulate one design point")
+    p_s.add_argument("name", choices=PAPER_ORDER)
+    p_s.add_argument("--ges", type=int, default=16)
+    p_s.add_argument("--sww-kb", type=int, default=64)
+    p_s.add_argument("--dram", choices=["ddr4", "hbm2"], default="ddr4")
+    p_s.add_argument("--role", choices=["evaluator", "garbler"], default="evaluator")
+    p_s.add_argument(
+        "--opt",
+        choices=[opt.value for opt in OptLevel],
+        default=OptLevel.RO_RN_ESW.value,
+    )
+
+    p_p = sub.add_parser("protocol", help="run the two-party millionaires demo")
+    p_p.add_argument("--alice", type=int, default=4_200_000)
+    p_p.add_argument("--bob", type=int, default=3_700_000)
+    p_p.add_argument("--width", type=int, default=32)
+
+    p_f = sub.add_parser(
+        "figures", help="ASCII renderings of the evaluation figures"
+    )
+    p_f.add_argument(
+        "which",
+        nargs="*",
+        default=["fig6", "fig10"],
+        choices=["fig6", "fig8", "fig9", "fig10"],
+        help="figures to draw (default: fig6 fig10)",
+    )
+    p_f.add_argument("--full", action="store_true", help="all 8 workloads")
+    return parser
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    which: List[str] = args.which
+    if which == ["all"]:
+        which = list(_EXPERIMENTS)
+    unknown = [name for name in which if name not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    for name in which:
+        fn = _EXPERIMENTS[name]
+        if args.quick and name in _QUICK_CAPABLE:
+            result = fn(quick=True)
+        else:
+            result = fn()
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    if args.name is None:
+        rows = []
+        for name in PAPER_ORDER:
+            workload = get_workload(name)
+            rows.append([
+                name, workload.character, workload.description,
+                str(workload.scaled_params),
+            ])
+        print(render_table(
+            ["Name", "Character", "Description", "Scaled params"], rows,
+            title="VIP-Bench workloads (paper Table 2 order)",
+        ))
+        return 0
+    workload = get_workload(args.name)
+    built = workload.build_scaled()
+    stats = built.circuit.stats()
+    rows = [
+        ["levels", stats.levels],
+        ["wires", stats.wires],
+        ["gates", stats.gates],
+        ["AND %", f"{100 * stats.and_fraction:.2f}"],
+        ["ILP", f"{stats.ilp:.1f}"],
+        ["garbler inputs", built.circuit.n_garbler_inputs],
+        ["evaluator inputs", built.circuit.n_evaluator_inputs],
+        ["outputs", len(built.circuit.outputs)],
+    ]
+    print(render_table(["Property", "Value"], rows, title=f"{args.name} (scaled)"))
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    built = get_workload(args.name).build_scaled()
+    config = HaacConfig(n_ges=args.ges, sww_bytes=args.sww_kb * 1024)
+    rows = []
+    for opt in OptLevel:
+        result = compile_circuit(
+            built.circuit, config.window, config.n_ges,
+            opt=opt, params=config.schedule_params(),
+        )
+        live, oor, total = result.streams.wire_traffic_wires()
+        rows.append([
+            opt.value, result.streams.makespan, live, oor,
+            f"{result.esw_report.spent_pct:.1f}",
+        ])
+    print(render_table(
+        ["Config", "Makespan", "Live wires", "OoR wires", "Spent %"],
+        rows,
+        title=f"{args.name}: {args.ges} GEs, {args.sww_kb} KB SWW",
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    built = get_workload(args.name).build_scaled()
+    config = HaacConfig(
+        n_ges=args.ges,
+        sww_bytes=args.sww_kb * 1024,
+        dram=HBM2 if args.dram == "hbm2" else DDR4,
+        role=Role.GARBLER if args.role == "garbler" else Role.EVALUATOR,
+    )
+    result = compile_circuit(
+        built.circuit, config.window, config.n_ges,
+        opt=OptLevel(args.opt), params=config.schedule_params(),
+    )
+    sim = simulate(result.streams, config)
+    rows = [[key, value] for key, value in sim.summary().items()]
+    rows.append(["stalls", str(sim.stalls.as_dict())])
+    rows.append(["traffic by stream", str(sim.ledger.as_dict())])
+    print(render_table(
+        ["Metric", "Value"], rows,
+        title=f"{args.name} on {config.n_ges} GEs / {args.sww_kb} KB / "
+        f"{config.dram.name} ({args.opt})",
+    ))
+    return 0
+
+
+def _cmd_protocol(args: argparse.Namespace) -> int:
+    from .circuits.builder import CircuitBuilder
+    from .circuits.stdlib.integer import encode_int, less_than
+    from .gc.protocol import run_two_party
+
+    builder = CircuitBuilder()
+    alice = builder.add_garbler_inputs(args.width)
+    bob = builder.add_evaluator_inputs(args.width)
+    builder.mark_outputs([less_than(builder, bob, alice)])
+    circuit = builder.build("millionaires")
+    result = run_two_party(
+        circuit,
+        encode_int(args.alice, args.width),
+        encode_int(args.bob, args.width),
+        seed=2023,
+    )
+    richer = "Alice" if result.output_bits[0] else "Bob (or tie)"
+    print(f"richer: {richer}")
+    print(f"gates: {len(circuit.gates)} ({result.and_gates} garbled tables)")
+    print(f"bytes exchanged: {result.total_bytes}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .analysis import charts
+
+    quick = not args.full
+    for which in args.which:
+        if which == "fig6":
+            result = exp.fig6_compiler_opts(quick=quick)
+            groups = [
+                (row[0], [("Baseline", row[1]), ("RO+RN", row[2]),
+                          ("RO+RN+ESW", row[3])])
+                for row in result.rows
+            ]
+            print(charts.grouped_bar_chart(
+                groups, title="Figure 6: speedup over CPU (log scale)"
+            ))
+        elif which == "fig8":
+            result = exp.fig8_ge_scaling(quick=quick, ge_counts=(1, 4, 16))
+            groups = []
+            for name, by_dram in result.extras["scaling"].items():
+                series = []
+                for dram, speedups in by_dram.items():
+                    for count, speedup in zip((1, 4, 16), speedups):
+                        series.append((f"{dram} {count}GE", speedup))
+                groups.append((name, series))
+            print(charts.grouped_bar_chart(
+                groups, title="Figure 8: GE scaling (log scale)"
+            ))
+        elif which == "fig9":
+            result = exp.fig9_energy(quick=quick)
+            rows = [
+                (row[0], {
+                    "Half-Gate": row[1] / 100, "Crossbar": row[2] / 100,
+                    "SRAM": row[3] / 100, "Others": row[4] / 100,
+                    "HBM2 PHY": row[5] / 100,
+                })
+                for row in result.rows
+            ]
+            legend = [("Half-Gate", "H"), ("Crossbar", "X"), ("SRAM", "S"),
+                      ("Others", "o"), ("HBM2 PHY", "P")]
+            print(charts.stacked_shares(
+                rows, title="Figure 9: energy breakdown", legend=legend
+            ))
+        elif which == "fig10":
+            result = exp.fig10_plaintext(quick=quick)
+            groups = [
+                (row[0], [("CPU GC", row[1]), ("HAAC DDR4", row[2]),
+                          ("HAAC HBM2", row[3])])
+                for row in result.rows
+            ]
+            print(charts.grouped_bar_chart(
+                groups,
+                title="Figure 10: slowdown vs plaintext (log scale)",
+            ))
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "experiments": _cmd_experiments,
+    "workloads": _cmd_workloads,
+    "compile": _cmd_compile,
+    "simulate": _cmd_simulate,
+    "protocol": _cmd_protocol,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""HAAC's contribution: the ISA, compiler passes, and program model."""
+
+from .assembler import LoweredCircuit, assemble, lower_inv
+from .compiler import CompileResult, OptLevel, compile_best, compile_circuit
+from .isa import (
+    OOR_SENTINEL,
+    HaacOp,
+    Instruction,
+    InstructionEncoding,
+    decode_instruction,
+    encode_instruction,
+)
+from .program import HaacProgram, ProgramError
+from .sww import WIRE_BYTES, SlidingWindow
+from .verify import StreamVerificationError, VerificationReport, verify_streams
+
+__all__ = [
+    "verify_streams",
+    "VerificationReport",
+    "StreamVerificationError",
+    "HaacOp",
+    "Instruction",
+    "InstructionEncoding",
+    "OOR_SENTINEL",
+    "encode_instruction",
+    "decode_instruction",
+    "HaacProgram",
+    "ProgramError",
+    "SlidingWindow",
+    "WIRE_BYTES",
+    "assemble",
+    "lower_inv",
+    "LoweredCircuit",
+    "OptLevel",
+    "CompileResult",
+    "compile_circuit",
+    "compile_best",
+]

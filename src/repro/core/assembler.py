@@ -1,0 +1,98 @@
+"""The HAAC assembler: Bristol/IR netlists to baseline HAAC programs.
+
+Mirrors the paper's Figure 5 front half: EMP emits a Bristol netlist,
+the assembler turns it into HAAC instructions.  Two lowering steps are
+needed to reach the three-op ISA:
+
+* **INV elimination** -- HAAC has no INV.  Under FreeXOR a NOT is an XOR
+  with a wire carrying constant 1, so the assembler appends one public
+  "constant-one" input wire (held by the Evaluator; its value is public)
+  and rewrites ``INV a`` to ``XOR a, one``.  This is exactly how GC
+  frameworks realise NOT for free.
+* **Sequential-output form** -- our IR already allocates gate outputs in
+  program order (SSA), which is the ISA's implicit-output contract; the
+  assembler asserts it.
+
+The result is the *baseline* program of the paper's evaluation: original
+EMP gate order, no reordering/renaming/ESW.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuits.netlist import Circuit, Gate, GateOp
+from .program import HaacProgram
+
+__all__ = ["lower_inv", "assemble", "LoweredCircuit"]
+
+
+class LoweredCircuit:
+    """A lowered netlist plus the input-bit adapter for the extra wire.
+
+    ``circuit`` has no INV gates.  When ``has_one_wire`` is set, the last
+    evaluator input is the public constant-one wire and
+    :meth:`adapt_inputs` appends the 1 bit to the evaluator's inputs.
+    """
+
+    def __init__(self, circuit: Circuit, has_one_wire: bool) -> None:
+        self.circuit = circuit
+        self.has_one_wire = has_one_wire
+
+    def adapt_inputs(
+        self, garbler_bits: Sequence[int], evaluator_bits: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Adjust original-circuit inputs for the lowered circuit."""
+        evaluator = list(evaluator_bits)
+        if self.has_one_wire:
+            evaluator.append(1)
+        return list(garbler_bits), evaluator
+
+
+def lower_inv(circuit: Circuit) -> LoweredCircuit:
+    """Replace INV gates with XOR-against-a-constant-one input wire.
+
+    The new wire is appended after all existing inputs, which shifts
+    every internal wire id up by one; outputs are remapped accordingly.
+    Circuits without INV are returned unchanged.
+    """
+    circuit.validate()
+    if not any(gate.op is GateOp.INV for gate in circuit.gates):
+        return LoweredCircuit(circuit, has_one_wire=False)
+
+    one_wire = circuit.n_inputs  # new input id; internals shift by +1
+
+    def remap(wire: int) -> int:
+        return wire if wire < circuit.n_inputs else wire + 1
+
+    gates: List[Gate] = []
+    for gate in circuit.gates:
+        if gate.op is GateOp.INV:
+            gates.append(
+                Gate(GateOp.XOR, remap(gate.a), one_wire, remap(gate.out))
+            )
+        else:
+            gates.append(
+                Gate(gate.op, remap(gate.a), remap(gate.b), remap(gate.out))
+            )
+    lowered = Circuit(
+        n_garbler_inputs=circuit.n_garbler_inputs,
+        n_evaluator_inputs=circuit.n_evaluator_inputs + 1,
+        outputs=[remap(w) for w in circuit.outputs],
+        gates=gates,
+        name=circuit.name + "+lowered",
+    )
+    lowered.validate()
+    return LoweredCircuit(lowered, has_one_wire=True)
+
+
+def assemble(circuit: Circuit) -> Tuple[HaacProgram, LoweredCircuit]:
+    """Netlist -> (baseline HAAC program, lowered circuit adapter)."""
+    lowered = lower_inv(circuit)
+    program = HaacProgram.from_netlist(
+        lowered.circuit,
+        name=circuit.name,
+        applied_passes=["assemble"],
+    )
+    program.validate()
+    return program, lowered

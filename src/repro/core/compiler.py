@@ -1,0 +1,158 @@
+"""The HAAC compiler driver (paper Figure 5).
+
+Pipelines the passes into the configurations the evaluation uses:
+
+* ``baseline``   -- assemble only (original EMP order);
+* ``ro_rn``      -- full reorder + rename;
+* ``seg_rn``     -- segment reorder + rename;
+* ``ro_rn_esw``  -- full reorder + rename + eliminate spent wires;
+* ``seg_rn_esw`` -- segment reorder + rename + ESW.
+
+The paper always pairs renaming with reordering ("without renaming the
+SWW is ineffectual") and notes segment vs full can be chosen per
+workload since performance is deterministic -- ``compile_best`` does
+exactly that given a figure of merit.
+
+ESW is run for every configuration's *report* (Table 2 needs spent-wire
+percentages), but live bits are only applied when the configuration
+includes it; without ESW every output is written back, as in hardware
+without the optimization.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..circuits.netlist import Circuit
+from .assembler import LoweredCircuit, assemble
+from .passes.esw import EswReport, eliminate_spent_wires
+from .passes.rename import rename
+from .passes.reorder import depth_first_order, full_reorder, segment_reorder
+from .passes.streams import ScheduleParams, StreamSet, generate_streams
+from .program import HaacProgram
+from .sww import SlidingWindow
+
+__all__ = ["OptLevel", "CompileResult", "compile_circuit", "compile_best"]
+
+
+class OptLevel(enum.Enum):
+    """Compiler configurations used across the evaluation figures."""
+
+    BASELINE = "baseline"
+    RO_RN = "ro_rn"
+    SEG_RN = "seg_rn"
+    RO_RN_ESW = "ro_rn_esw"
+    SEG_RN_ESW = "seg_rn_esw"
+
+    @property
+    def reorders(self) -> bool:
+        return self is not OptLevel.BASELINE
+
+    @property
+    def segmented(self) -> bool:
+        return self in (OptLevel.SEG_RN, OptLevel.SEG_RN_ESW)
+
+    @property
+    def esw(self) -> bool:
+        return self in (OptLevel.RO_RN_ESW, OptLevel.SEG_RN_ESW)
+
+
+@dataclass
+class CompileResult:
+    """Everything produced by one compiler run."""
+
+    program: HaacProgram
+    lowered: LoweredCircuit
+    streams: StreamSet
+    window: SlidingWindow
+    opt: OptLevel
+    esw_report: EswReport
+
+    @property
+    def name(self) -> str:
+        return f"{self.program.name}@{self.opt.value}"
+
+
+def compile_circuit(
+    circuit: Circuit,
+    window: SlidingWindow,
+    n_ges: int,
+    opt: OptLevel = OptLevel.RO_RN_ESW,
+    params: Optional[ScheduleParams] = None,
+    segment_size: Optional[int] = None,
+    verify: bool = False,
+) -> CompileResult:
+    """Compile ``circuit`` for a HAAC with ``n_ges`` GEs and ``window``.
+
+    ``segment_size`` defaults to half the SWW capacity, the paper's
+    choice; it is only used by the segmented configurations.  With
+    ``verify=True`` the static stream verifier
+    (:func:`repro.core.verify.verify_streams`) re-checks every co-design
+    invariant before returning.
+    """
+    program, lowered = assemble(circuit)
+    passes = list(program.applied_passes)
+
+    # Canonical EMP program order: depth-first producer-consumer chains
+    # (paper section 4.2.1).  This *is* the baseline; the reordering
+    # passes transform it.
+    netlist = depth_first_order(lowered.circuit)
+    passes.append("depth_first(baseline)")
+    if opt.reorders:
+        if opt.segmented:
+            size = segment_size or window.half
+            netlist = segment_reorder(netlist, size)
+            passes.append(f"segment_reorder({size})")
+        else:
+            netlist = full_reorder(netlist)
+            passes.append("full_reorder")
+    netlist = rename(netlist)
+    passes.append("rename")
+    program = HaacProgram.from_netlist(
+        netlist, name=circuit.name, applied_passes=passes
+    )
+
+    program_with_esw, esw_report = eliminate_spent_wires(program, window)
+    if opt.esw:
+        program = program_with_esw
+
+    streams = generate_streams(program, window, n_ges, params)
+    if verify:
+        from .verify import verify_streams
+
+        verify_streams(streams)
+    return CompileResult(
+        program=program,
+        lowered=lowered,
+        streams=streams,
+        window=window,
+        opt=opt,
+        esw_report=esw_report,
+    )
+
+
+def compile_best(
+    circuit: Circuit,
+    window: SlidingWindow,
+    n_ges: int,
+    score: Callable[[CompileResult], float],
+    params: Optional[ScheduleParams] = None,
+) -> Tuple[CompileResult, Dict[OptLevel, float]]:
+    """Compile with both reorderings (ESW on) and keep the better one.
+
+    The paper: "In practice, we can run both and deploy the best
+    performing optimization, as performance is deterministic."  ``score``
+    maps a result to a cost (lower is better), typically simulated
+    runtime.
+    """
+    scores: Dict[OptLevel, float] = {}
+    best: Optional[CompileResult] = None
+    for opt in (OptLevel.RO_RN_ESW, OptLevel.SEG_RN_ESW):
+        result = compile_circuit(circuit, window, n_ges, opt, params)
+        scores[opt] = score(result)
+        if best is None or scores[opt] < scores[best.opt]:
+            best = result
+    assert best is not None
+    return best, scores

@@ -1,0 +1,18 @@
+"""HAAC compiler passes: reorder, rename, ESW, stream generation."""
+
+from .esw import EswReport, eliminate_spent_wires
+from .rename import rename
+from .reorder import full_reorder, segment_reorder
+from .streams import GeStreams, ScheduleParams, StreamSet, generate_streams
+
+__all__ = [
+    "full_reorder",
+    "segment_reorder",
+    "rename",
+    "eliminate_spent_wires",
+    "EswReport",
+    "generate_streams",
+    "GeStreams",
+    "StreamSet",
+    "ScheduleParams",
+]

@@ -1,0 +1,85 @@
+"""Eliminating Spent Wires (paper section 4.2.3).
+
+Not every computed wire needs to reach DRAM: a wire is **spent** when all
+of its consumers read it while it is still resident in the SWW.  The
+compiler sets the instruction's *live* bit only for wires that are read
+after the window slides past them (those come back through the OoRW
+queue) or that are circuit outputs.  The paper reports an average of 84 %
+of wires saved from write-back with a 2 MB SWW (Table 2 "Spent Wire %").
+
+Runs on a renamed program: output addresses must be sequential for the
+window arithmetic to apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from ..program import HaacProgram
+from ..sww import SlidingWindow
+
+__all__ = ["eliminate_spent_wires", "EswReport"]
+
+
+@dataclass(frozen=True)
+class EswReport:
+    """Summary of one ESW run."""
+
+    total_outputs: int
+    live: int
+
+    @property
+    def spent(self) -> int:
+        return self.total_outputs - self.live
+
+    @property
+    def spent_pct(self) -> float:
+        return 100.0 * self.spent / self.total_outputs if self.total_outputs else 0.0
+
+    @property
+    def live_pct(self) -> float:
+        return 100.0 * self.live / self.total_outputs if self.total_outputs else 0.0
+
+
+def eliminate_spent_wires(
+    program: HaacProgram, window: SlidingWindow
+) -> tuple[HaacProgram, EswReport]:
+    """Return a copy of ``program`` with minimal live bits.
+
+    Instruction ``p`` (writing address ``o``) is live iff ``o`` is a
+    circuit output, or some consumer instruction ``q`` reads ``o`` with
+    its own output frontier at or past ``o``'s eviction point.
+    """
+    program.validate()
+    n_inputs = program.n_inputs
+    live = [False] * len(program.instructions)
+
+    output_set = set(program.outputs)
+    for position in range(len(program.instructions)):
+        if program.out_addr(position) in output_set:
+            live[position] = True
+
+    for position, gate in enumerate(program.netlist.gates):
+        frontier = program.out_addr(position)
+        for wire in gate.inputs():
+            if wire < n_inputs:
+                continue  # primary inputs live in DRAM from the start
+            if frontier >= window.eviction_frontier(wire):
+                live[wire - n_inputs] = True
+
+    instructions = [
+        replace(instr, live=flag)
+        for instr, flag in zip(program.instructions, live)
+    ]
+    optimized = HaacProgram(
+        instructions=instructions,
+        n_inputs=program.n_inputs,
+        outputs=list(program.outputs),
+        netlist=program.netlist,
+        name=program.name,
+        applied_passes=program.applied_passes + ["esw"],
+    )
+    optimized.validate()
+    report = EswReport(total_outputs=len(instructions), live=sum(live))
+    return optimized, report

@@ -1,0 +1,44 @@
+"""Output-wire renaming (paper section 4.2.2).
+
+After reordering there is no correlation between program order and wire
+addresses, so the SWW's contiguous window would capture nothing.
+Renaming renumbers every gate's output wire to follow the new program
+order -- gate at position ``p`` writes address ``n_inputs + p`` -- and
+propagates the mapping to all input references and circuit outputs.
+
+Benefits (per the paper): wire accesses concentrate inside the SWW's
+sliding range, and output addresses vanish from the instruction encoding
+(they are implicit in the program counter).
+"""
+
+from __future__ import annotations
+
+from ...circuits.netlist import Circuit, Gate
+
+__all__ = ["rename"]
+
+
+def rename(circuit: Circuit) -> Circuit:
+    """Renumber output wires to program order; inputs keep ids [0, n)."""
+    mapping = list(range(circuit.n_wires))  # old wire id -> new wire id
+    for position, gate in enumerate(circuit.gates):
+        mapping[gate.out] = circuit.n_inputs + position
+
+    gates = [
+        Gate(
+            gate.op,
+            mapping[gate.a],
+            mapping[gate.b] if gate.b >= 0 else -1,
+            mapping[gate.out],
+        )
+        for gate in circuit.gates
+    ]
+    renamed = Circuit(
+        n_garbler_inputs=circuit.n_garbler_inputs,
+        n_evaluator_inputs=circuit.n_evaluator_inputs,
+        outputs=[mapping[w] for w in circuit.outputs],
+        gates=gates,
+        name=circuit.name + "+rn",
+    )
+    renamed.validate()
+    return renamed

@@ -1,0 +1,114 @@
+"""Instruction reordering (paper section 4.2.1).
+
+Baseline EMP programs schedule gates depth-first, in tight producer-
+consumer chains; HAAC's in-order GEs then stall on dependences.  Two
+schemes trade parallelism against wire locality:
+
+* **Full reorder** -- level-order (breadth-first) schedule: build the
+  leveled dependence graph of the whole program and emit level by level.
+  Maximum ILP; can spread wire accesses so widely the SWW loses reuse.
+* **Segment reorder** -- partition the baseline order into contiguous
+  segments (the paper uses half the SWW capacity) and level-order within
+  each segment.  Preserves the baseline's wire locality at SWW scale
+  while recovering most ILP.
+
+Both are netlist-to-netlist transforms returning a new topologically
+valid :class:`Circuit` with gates permuted (wire ids unchanged; run
+renaming afterwards to restore the ISA's sequential-output form).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...circuits.netlist import Circuit
+
+__all__ = ["full_reorder", "segment_reorder", "depth_first_order"]
+
+
+def _stable_level_sort(circuit: Circuit, start: int, stop: int) -> List[int]:
+    """Positions [start, stop) sorted by gate level, stable.
+
+    Levels are the global ASAP levels, so a dependent gate always has a
+    strictly larger level than its producer and the sorted order remains
+    topological within the window.
+    """
+    levels = circuit.gate_levels()
+    return sorted(range(start, stop), key=lambda position: levels[position])
+
+
+def _permute(circuit: Circuit, order: List[int], suffix: str) -> Circuit:
+    reordered = Circuit(
+        n_garbler_inputs=circuit.n_garbler_inputs,
+        n_evaluator_inputs=circuit.n_evaluator_inputs,
+        outputs=list(circuit.outputs),
+        gates=[circuit.gates[position] for position in order],
+        name=circuit.name + suffix,
+    )
+    reordered.validate()
+    return reordered
+
+
+def full_reorder(circuit: Circuit) -> Circuit:
+    """Breadth-first (level-order) schedule of the whole program.
+
+    Within a level the baseline order is preserved (stable sort), which
+    keeps some residual locality and makes the pass deterministic.
+    """
+    order = _stable_level_sort(circuit, 0, len(circuit.gates))
+    return _permute(circuit, order, "+ro")
+
+
+def depth_first_order(circuit: Circuit) -> Circuit:
+    """EMP-style depth-first (producer-consumer) schedule -- the paper's
+    *baseline* program order.
+
+    The paper (section 4.2.1): baseline instructions follow "a depth-first
+    circuit traversal, i.e., in tight producer-consumer relationships
+    minimizing the distance between dependent gates", which keeps wire
+    reuse local but starves in-order GEs of parallelism.  We reproduce it
+    with an iterative post-order DFS from the circuit outputs.
+    """
+    producer = {gate.out: position for position, gate in enumerate(circuit.gates)}
+    emitted = [False] * len(circuit.gates)
+    order: List[int] = []
+    for root in circuit.outputs:
+        if root not in producer:
+            continue
+        stack: List[tuple[int, bool]] = [(producer[root], False)]
+        while stack:
+            position, expanded = stack.pop()
+            if emitted[position]:
+                continue
+            if expanded:
+                emitted[position] = True
+                order.append(position)
+                continue
+            stack.append((position, True))
+            gate = circuit.gates[position]
+            # Push b then a so a's subtree is emitted first.
+            for wire in (gate.b, gate.a):
+                if wire in producer and not emitted[producer[wire]]:
+                    stack.append((producer[wire], False))
+    # Dead gates (no path to an output) keep their original order at the
+    # end; they still execute on the hardware.
+    for position in range(len(circuit.gates)):
+        if not emitted[position]:
+            order.append(position)
+    return _permute(circuit, order, "+dfs")
+
+
+def segment_reorder(circuit: Circuit, segment_size: int) -> Circuit:
+    """Level-order within contiguous ``segment_size``-gate windows.
+
+    The paper sets ``segment_size`` to half the SWW wire capacity
+    (65,536 instructions for a 2 MB SWW), matching the window's logical
+    halves so segment-local reuse is capturable by the SWW.
+    """
+    if segment_size < 1:
+        raise ValueError("segment size must be positive")
+    order: List[int] = []
+    for start in range(0, len(circuit.gates), segment_size):
+        stop = min(start + segment_size, len(circuit.gates))
+        order.extend(_stable_level_sort(circuit, start, stop))
+    return _permute(circuit, order, "+seg")

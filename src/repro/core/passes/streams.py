@@ -1,0 +1,269 @@
+"""Queue-stream generation (paper section 4.1, final compiler step).
+
+All HAAC queues are GE-local, so the compiler must decide, ahead of
+time, (1) which instructions run on which GE, (2) the per-GE garbled-
+table order, and (3) the per-GE out-of-range wire order.  The paper does
+the GE mapping by replaying a greedy "next instruction to the next
+non-stalled GE" schedule in its simulator; we reproduce that with an
+earliest-issue greedy list scheduler using the GE latencies (XOR one
+cycle, AND the Half-Gate pipeline depth, +1 cycle for cross-GE
+forwarding).
+
+Out-of-range analysis compares every operand against the SWW window at
+the instruction's output frontier (:mod:`repro.core.sww`).  OoR operands
+are flagged (the ISA encodes them as wire address 0) and their DRAM
+addresses appended to the owning GE's OoRW queue in pop order; when both
+operands are OoR the first operand is queued first, matching hardware.
+
+Physical ISA addressing: the encoding reserves address 0 as the OoR
+sentinel, so a logical wire ``w`` is encoded as ``(w % capacity) + 1``
+-- unique within any window because the window spans exactly
+``capacity`` consecutive addresses.  The one lost SWW slot is negligible
+(paper section 3.3) and is not modelled in the capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..isa import HaacOp, Instruction, InstructionEncoding, encode_instruction
+from ..program import HaacProgram
+from ..sww import SlidingWindow
+
+__all__ = ["GeStreams", "StreamSet", "generate_streams", "ScheduleParams"]
+
+
+@dataclass(frozen=True)
+class ScheduleParams:
+    """Latencies used by the compile-time greedy GE mapping.
+
+    Defaults follow the paper: single-cycle FreeXOR, deep Half-Gate
+    pipelines (18-stage Evaluator, 21-stage Garbler), one extra cycle to
+    forward a wire between GEs.
+    """
+
+    and_latency: int = 18
+    xor_latency: int = 1
+    cross_ge_forward: int = 1
+
+    @staticmethod
+    def evaluator() -> "ScheduleParams":
+        return ScheduleParams(and_latency=18)
+
+    @staticmethod
+    def garbler() -> "ScheduleParams":
+        return ScheduleParams(and_latency=21)
+
+
+@dataclass
+class GeStreams:
+    """The three streams of one gate engine.
+
+    ``instructions`` keep *logical* wire addresses; ``oor_a``/``oor_b``
+    flag operands served by the OoRW queue.  ``positions`` are the
+    original program positions (needed to compute implicit output
+    addresses and to pop the right garbled table).
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    positions: List[int] = field(default_factory=list)
+    oor_a: List[bool] = field(default_factory=list)
+    oor_b: List[bool] = field(default_factory=list)
+    oor_addresses: List[int] = field(default_factory=list)
+
+    @property
+    def n_tables(self) -> int:
+        return sum(1 for instr in self.instructions if instr.op is HaacOp.AND)
+
+    def encode_machine_words(
+        self, window: SlidingWindow, encoding: InstructionEncoding | None = None
+    ) -> List[int]:
+        """Binary instruction words with physical (sentinel-safe) addressing."""
+        enc = encoding or InstructionEncoding.for_sww_wires(window.capacity + 1)
+
+        def physical(addr: int, is_oor: bool) -> int:
+            return 0 if is_oor else (addr % window.capacity) + 1
+
+        words = []
+        for instr, a_oor, b_oor in zip(self.instructions, self.oor_a, self.oor_b):
+            machine = Instruction(
+                op=instr.op,
+                wa=physical(instr.wa, a_oor),
+                wb=physical(instr.wb, b_oor),
+                live=instr.live,
+            )
+            words.append(encode_instruction(machine, enc))
+        return words
+
+
+@dataclass
+class StreamSet:
+    """All compiler-generated streams for one program/config pair."""
+
+    program: HaacProgram
+    window: SlidingWindow
+    n_ges: int
+    params: ScheduleParams
+    ge_of: List[int]
+    issue_cycle: List[int]
+    ges: List[GeStreams]
+    makespan: int
+
+    @property
+    def oor_reads(self) -> int:
+        """Total wires streamed in through OoRW queues."""
+        return sum(len(ge.oor_addresses) for ge in self.ges)
+
+    @property
+    def live_writes(self) -> int:
+        """Total wires written back to DRAM (live bits)."""
+        return self.program.n_live
+
+    def wire_traffic_wires(self) -> Tuple[int, int, int]:
+        """(live writes, OoR reads, total) in wires -- Table 3's columns."""
+        return (self.live_writes, self.oor_reads, self.live_writes + self.oor_reads)
+
+
+def _greedy_schedule(
+    program: HaacProgram, n_ges: int, params: ScheduleParams, capacity: int
+) -> Tuple[List[int], List[int], int]:
+    """Assign each instruction to the next *non-stalled* GE, as the paper
+    does ("mapping instructions from the program to non-stalled GEs each
+    cycle in our simulator").
+
+    Instruction ``p`` is handed to the GE that frees up earliest
+    (regardless of whether ``p``'s operands are ready); if they are not,
+    that GE sits stalled -- head-of-line blocking, the behaviour that
+    makes depth-first baseline programs slow on in-order GEs and
+    level-order reordering valuable (paper section 4.2.1).  Among GEs
+    freeing at the same cycle, an operand's producer is preferred (it
+    dodges the forwarding penalty), then the lowest index.
+
+    Returns (ge_of, issue_cycle, makespan).  ``done[w]`` is the cycle a
+    wire's value exists (forwardable); primary inputs are ready at 0.
+
+    Besides dependences, the schedule enforces the **window-sync**
+    hazard of the tagless SWW: writing wire ``o`` lands in the physical
+    slot of wire ``o - capacity``, so the write may not issue before
+    every (program-order earlier) in-window reader of ``o - capacity``
+    has issued.  The hardware has no tags to detect this; the co-design
+    contract makes the compiler responsible, exactly like the paper's
+    "remains valid ... for at least the time it takes to process
+    instructions proportional to half of the SWW size" argument.
+    """
+    import heapq
+
+    n_inputs = program.n_inputs
+    done = [0] * program.n_wires
+    producer_ge = [-1] * program.n_wires
+    ge_free = [0] * n_ges
+    # Lazy min-heap over (free_cycle, ge) to find the next-free GE.
+    free_heap = [(0, ge) for ge in range(n_ges)]
+    heapq.heapify(free_heap)
+    ge_of: List[int] = []
+    issue_cycle: List[int] = []
+    latency = {
+        HaacOp.AND: params.and_latency,
+        HaacOp.XOR: params.xor_latency,
+        HaacOp.NOP: 1,
+    }
+    penalty = params.cross_ge_forward
+    last_read_issue = [0] * program.n_wires
+
+    for position, gate in enumerate(program.netlist.gates):
+        instr = program.instructions[position]
+        a, b = gate.a, gate.b
+        # Next-free GE (paper's non-stalled-GE policy).  Prefer an
+        # operand producer among GEs freeing at the same cycle.
+        while free_heap and free_heap[0][0] != ge_free[free_heap[0][1]]:
+            heapq.heappop(free_heap)
+        accept_cycle, chosen = free_heap[0]
+        for wire in (a, b):
+            source = producer_ge[wire] if wire >= n_inputs else -1
+            if source >= 0 and ge_free[source] == accept_cycle:
+                chosen = source
+                break
+
+        out = program.out_addr(position)
+        evicted = out - capacity
+        window_sync = last_read_issue[evicted] if evicted >= 0 else 0
+
+        ready = max(accept_cycle, window_sync)
+        for wire in (a, b):
+            available = done[wire]
+            if (
+                wire >= n_inputs
+                and producer_ge[wire] >= 0
+                and producer_ge[wire] != chosen
+            ):
+                available += penalty
+            if available > ready:
+                ready = available
+        issue = ready
+        ge_of.append(chosen)
+        issue_cycle.append(issue)
+        ge_free[chosen] = issue + 1
+        heapq.heappush(free_heap, (issue + 1, chosen))
+        done[out] = issue + latency[instr.op]
+        producer_ge[out] = chosen
+        for wire in (a, b):
+            if issue + 1 > last_read_issue[wire]:
+                last_read_issue[wire] = issue + 1
+
+    makespan = 0
+    for position, issue in enumerate(issue_cycle):
+        instr = program.instructions[position]
+        finish = issue + latency[instr.op]
+        if finish > makespan:
+            makespan = finish
+    return ge_of, issue_cycle, makespan
+
+
+def generate_streams(
+    program: HaacProgram,
+    window: SlidingWindow,
+    n_ges: int,
+    params: ScheduleParams | None = None,
+) -> StreamSet:
+    """Run the full stream-generation pass.
+
+    ``program`` must be in renamed (sequential-output) form; validate()
+    is invoked to enforce that.  The returned :class:`StreamSet` contains
+    everything the functional machine and the timing simulator consume.
+    """
+    if n_ges < 1:
+        raise ValueError("need at least one GE")
+    program.validate()
+    params = params or ScheduleParams.evaluator()
+
+    ge_of, issue_cycle, makespan = _greedy_schedule(
+        program, n_ges, params, window.capacity
+    )
+
+    ges = [GeStreams() for _ in range(n_ges)]
+    for position, gate in enumerate(program.netlist.gates):
+        instr = program.instructions[position]
+        ge = ges[ge_of[position]]
+        out = program.out_addr(position)
+        a_oor = window.is_oor(gate.a, out)
+        b_oor = window.is_oor(gate.b, out)
+        ge.instructions.append(instr)
+        ge.positions.append(position)
+        ge.oor_a.append(a_oor)
+        ge.oor_b.append(b_oor)
+        if a_oor:
+            ge.oor_addresses.append(gate.a)
+        if b_oor:
+            ge.oor_addresses.append(gate.b)
+
+    return StreamSet(
+        program=program,
+        window=window,
+        n_ges=n_ges,
+        params=params,
+        ge_of=ge_of,
+        issue_cycle=issue_cycle,
+        ges=ges,
+        makespan=makespan,
+    )

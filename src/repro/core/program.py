@@ -1,0 +1,179 @@
+"""HAAC program container.
+
+A :class:`HaacProgram` is the compiler's output for one circuit: a list
+of :class:`~repro.core.isa.Instruction` in execution order, plus the
+metadata the hardware controllers and the simulator need (input count,
+output addresses, the netlist the program was derived from).
+
+Programs obey the ISA contract: instruction ``p`` writes physical wire
+address ``n_inputs + p`` (sequential outputs), so no output address is
+encoded.  ``netlist`` is the *final* (lowered, reordered, renamed)
+circuit whose gate ``p`` corresponds to instruction ``p``; garbling that
+netlist yields tables in exactly the order the per-GE table queues pop
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuits.netlist import Circuit, GateOp
+from .isa import HaacOp, Instruction
+
+__all__ = ["HaacProgram", "ProgramError"]
+
+_OP_MAP = {GateOp.AND: HaacOp.AND, GateOp.XOR: HaacOp.XOR}
+
+
+class ProgramError(ValueError):
+    """Raised when a program violates the ISA contract."""
+
+
+@dataclass
+class HaacProgram:
+    """A compiled HAAC program.
+
+    Attributes
+    ----------
+    instructions:
+        Execution-ordered instruction list; instruction ``p`` writes
+        address ``n_inputs + p``.
+    n_inputs:
+        Number of preloaded input wire addresses ``[0, n_inputs)``.
+    outputs:
+        Physical addresses of the circuit outputs.
+    netlist:
+        The final netlist (gate ``p`` == instruction ``p``); used for
+        garbling and functional validation.
+    name / applied_passes:
+        Provenance for reports.
+    """
+
+    instructions: List[Instruction]
+    n_inputs: int
+    outputs: List[int]
+    netlist: Circuit
+    name: str = "haac"
+    applied_passes: List[str] = field(default_factory=list)
+
+    @property
+    def n_wires(self) -> int:
+        return self.n_inputs + len(self.instructions)
+
+    def out_addr(self, position: int) -> int:
+        """Physical output address of instruction ``position``."""
+        return self.n_inputs + position
+
+    @property
+    def n_and(self) -> int:
+        return sum(1 for i in self.instructions if i.op is HaacOp.AND)
+
+    @property
+    def n_xor(self) -> int:
+        return sum(1 for i in self.instructions if i.op is HaacOp.XOR)
+
+    @property
+    def n_live(self) -> int:
+        return sum(1 for i in self.instructions if i.live)
+
+    def live_fraction(self) -> float:
+        """Fraction of outputs written back to DRAM (Table 2 spent = 1-live)."""
+        if not self.instructions:
+            return 0.0
+        return self.n_live / len(self.instructions)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self, oor_allowed: bool = True) -> None:
+        """Check the ISA contract against the carried netlist.
+
+        * instruction count matches the netlist gate count;
+        * netlist gate ``p`` writes wire ``n_inputs + p`` (renamed form);
+        * instruction operands match the gate's input wires unless they
+          are the OoR sentinel (``oor_allowed``);
+        * ops correspond (netlist has no INV at this stage).
+        """
+        if len(self.instructions) != len(self.netlist.gates):
+            raise ProgramError(
+                f"{len(self.instructions)} instructions vs "
+                f"{len(self.netlist.gates)} netlist gates"
+            )
+        if self.n_inputs != self.netlist.n_inputs:
+            raise ProgramError("input count mismatch with netlist")
+        for position, (instr, gate) in enumerate(
+            zip(self.instructions, self.netlist.gates)
+        ):
+            if gate.op is GateOp.INV:
+                raise ProgramError(
+                    f"netlist gate {position} is INV; lower before emitting"
+                )
+            if gate.out != self.out_addr(position):
+                raise ProgramError(
+                    f"gate {position} writes {gate.out}, ISA requires "
+                    f"{self.out_addr(position)} (run renaming)"
+                )
+            if _OP_MAP[gate.op] is not instr.op:
+                raise ProgramError(f"op mismatch at instruction {position}")
+            for operand, wire in ((instr.wa, gate.a), (instr.wb, gate.b)):
+                if operand == wire:
+                    continue
+                if oor_allowed and operand == 0:
+                    continue
+                raise ProgramError(
+                    f"instruction {position} operand {operand} does not "
+                    f"match netlist wire {wire}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_netlist(
+        netlist: Circuit,
+        name: Optional[str] = None,
+        applied_passes: Optional[List[str]] = None,
+    ) -> "HaacProgram":
+        """Emit instructions 1:1 from a lowered, renamed netlist.
+
+        All live bits default to True (everything written back); the ESW
+        pass clears them.  Operand addresses are the netlist wire ids;
+        stream generation later replaces OoR operands with the sentinel.
+        """
+        instructions: List[Instruction] = []
+        for position, gate in enumerate(netlist.gates):
+            if gate.op is GateOp.INV:
+                raise ProgramError("lower INV gates before emitting a program")
+            if gate.out != netlist.n_inputs + position:
+                raise ProgramError(
+                    "netlist is not in renamed form; run renaming first"
+                )
+            instructions.append(
+                Instruction(
+                    op=_OP_MAP[gate.op],
+                    wa=gate.a,
+                    wb=gate.b,
+                    live=True,
+                    source_gate=position,
+                )
+            )
+        return HaacProgram(
+            instructions=instructions,
+            n_inputs=netlist.n_inputs,
+            outputs=list(netlist.outputs),
+            netlist=netlist,
+            name=name or netlist.name,
+            applied_passes=list(applied_passes or []),
+        )
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "instructions": len(self.instructions),
+            "and": self.n_and,
+            "xor": self.n_xor,
+            "live": self.n_live,
+            "live_pct": 100.0 * self.live_fraction(),
+        }

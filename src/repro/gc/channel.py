@@ -1,0 +1,78 @@
+"""In-memory two-party channel with byte accounting.
+
+GCs are communication heavy: every AND gate ships a 32-byte table and
+every Evaluator input costs an OT round trip.  The channel counts bytes
+by traffic class so the examples and the protocol tests can report the
+same data-footprint numbers the paper's motivation cites.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Tuple
+
+__all__ = ["Channel", "ChannelPair", "make_channel_pair"]
+
+
+@dataclass
+class Channel:
+    """One direction of a duplex link."""
+
+    name: str
+    _queue: Deque[Tuple[str, Any, int]] = field(default_factory=deque)
+    bytes_by_class: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def send(self, kind: str, payload: Any, size_bytes: int) -> None:
+        """Enqueue a message; ``size_bytes`` is its wire size."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        self.bytes_by_class[kind] += size_bytes
+        self._queue.append((kind, payload, size_bytes))
+
+    def recv(self, kind: str) -> Any:
+        """Dequeue the next message, asserting its traffic class."""
+        if not self._queue:
+            raise RuntimeError(f"channel {self.name}: recv({kind}) on empty queue")
+        actual_kind, payload, _ = self._queue.popleft()
+        if actual_kind != kind:
+            raise RuntimeError(
+                f"channel {self.name}: expected {kind}, got {actual_kind}"
+            )
+        return payload
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_class.values())
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class ChannelPair:
+    """Duplex link between Garbler (Alice) and Evaluator (Bob)."""
+
+    to_evaluator: Channel
+    to_garbler: Channel
+
+    @property
+    def total_bytes(self) -> int:
+        return self.to_evaluator.total_bytes + self.to_garbler.total_bytes
+
+    def traffic_report(self) -> Dict[str, int]:
+        report: Dict[str, int] = {}
+        for direction, channel in (
+            ("garbler->evaluator", self.to_evaluator),
+            ("evaluator->garbler", self.to_garbler),
+        ):
+            for kind, count in channel.bytes_by_class.items():
+                report[f"{direction}:{kind}"] = count
+        return report
+
+
+def make_channel_pair() -> ChannelPair:
+    return ChannelPair(
+        to_evaluator=Channel("garbler->evaluator"),
+        to_garbler=Channel("evaluator->garbler"),
+    )

@@ -1,0 +1,84 @@
+"""Whole-circuit evaluation (Bob / the Evaluator).
+
+The online phase: holding exactly one label per input wire plus the
+garbled tables, the Evaluator walks the netlist in topological order.
+AND gates pop the next table off the table stream (HAAC's table queue
+discipline -- tables are consumed strictly in gate order, no addressing);
+XOR and INV are free.  Outputs are decoded with the Garbler's decode
+bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..circuits.netlist import Circuit, GateOp
+from .garble import GarbledCircuit
+from .halfgate import eval_and, eval_not, eval_xor
+from .hashing import GateHasher
+from .labels import lsb
+
+__all__ = ["EvaluationResult", "evaluate_circuit"]
+
+
+@dataclass
+class EvaluationResult:
+    """Output of one evaluation: labels, decoded bits, hash accounting."""
+
+    output_labels: List[int]
+    output_bits: List[int]
+    hash_calls: int
+    key_expansions: int
+
+
+def evaluate_circuit(
+    circuit: Circuit,
+    garbled: GarbledCircuit,
+    input_labels: Sequence[int],
+    rekeyed: bool = True,
+) -> EvaluationResult:
+    """Evaluate ``circuit`` given one label per primary input wire.
+
+    Raises if the table stream length does not match the number of AND
+    gates -- the same invariant HAAC's streaming table queue relies on.
+    """
+    circuit.validate()
+    if len(input_labels) != circuit.n_inputs:
+        raise ValueError(
+            f"expected {circuit.n_inputs} input labels, got {len(input_labels)}"
+        )
+    if len(garbled.tables) != garbled.n_and_gates:
+        raise ValueError("garbled table stream is inconsistent")
+
+    hasher = GateHasher(rekeyed=rekeyed)
+    labels = [0] * circuit.n_wires
+    for wire, label in enumerate(input_labels):
+        labels[wire] = label
+
+    next_table = 0
+    for gate_index, gate in enumerate(circuit.gates):
+        if gate.op is GateOp.AND:
+            table = garbled.tables[next_table]
+            next_table += 1
+            labels[gate.out] = eval_and(
+                labels[gate.a], labels[gate.b], table, gate_index, hasher
+            )
+        elif gate.op is GateOp.XOR:
+            labels[gate.out] = eval_xor(labels[gate.a], labels[gate.b])
+        else:  # INV
+            labels[gate.out] = eval_not(labels[gate.a])
+    if next_table != len(garbled.tables):
+        raise ValueError("table stream not fully consumed")
+
+    output_labels = [labels[w] for w in circuit.outputs]
+    output_bits = [
+        lsb(label) ^ decode
+        for label, decode in zip(output_labels, garbled.decode_bits)
+    ]
+    return EvaluationResult(
+        output_labels=output_labels,
+        output_bits=output_bits,
+        hash_calls=hasher.calls,
+        key_expansions=hasher.key_expansions,
+    )

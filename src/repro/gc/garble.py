@@ -1,0 +1,125 @@
+"""Whole-circuit garbling (Alice / the Garbler).
+
+Garbling is the offline phase: the Garbler draws the global offset R and
+one label pair per input wire, then walks the netlist in topological
+order producing (a) a 32-byte garbled table per AND gate and (b) the
+zero-label of every internal wire.  XOR and INV are free (no table, no
+hashing).  Output decoding information is the permute bit of each output
+wire's zero-label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..circuits.netlist import Circuit, GateOp
+from .halfgate import GarbledTable, garble_and, garble_not, garble_xor
+from .hashing import GateHasher
+from .labels import lsb
+from .rng import LabelPrg
+
+__all__ = ["GarbledCircuit", "Garbler", "garble_circuit"]
+
+
+@dataclass
+class GarbledCircuit:
+    """Everything the Garbler ships to the Evaluator (minus input labels).
+
+    ``tables`` holds one entry per AND gate in netlist order -- exactly
+    the stream HAAC's table queues consume.  ``decode_bits`` maps each
+    circuit output to the permute bit of its zero-label so the Evaluator
+    can decode its result.
+    """
+
+    tables: List[GarbledTable]
+    decode_bits: List[int]
+    n_and_gates: int
+
+    def table_bytes(self) -> int:
+        """Total garbled-table traffic in bytes (32 B per AND gate)."""
+        return 32 * len(self.tables)
+
+
+@dataclass
+class Garbler:
+    """Holds the Garbler's secrets for one circuit execution.
+
+    Attributes
+    ----------
+    r:
+        The FreeXOR global offset (lsb = 1).
+    zero_labels:
+        ``zero_labels[w]`` is W_w^0 for every wire ``w``.
+    hasher:
+        The gate hash with call accounting (re-keyed by default, as HAAC
+        mandates).
+    """
+
+    circuit: Circuit
+    r: int
+    zero_labels: List[int]
+    hasher: GateHasher
+    garbled: GarbledCircuit = field(init=False)
+
+    def input_label(self, wire: int, bit: int) -> int:
+        """The label encoding ``bit`` on input wire ``wire``."""
+        if wire >= self.circuit.n_inputs:
+            raise ValueError(f"wire {wire} is not a primary input")
+        return self.zero_labels[wire] ^ (self.r if bit else 0)
+
+    def input_labels_for(self, wires: Sequence[int], bits: Sequence[int]) -> List[int]:
+        if len(wires) != len(bits):
+            raise ValueError("wires and bits must align")
+        return [self.input_label(w, b) for w, b in zip(wires, bits)]
+
+    def decode(self, output_labels: Sequence[int]) -> List[int]:
+        """Decode output labels to plaintext bits using the decode map."""
+        bits = []
+        for wire, label in zip(self.circuit.outputs, output_labels):
+            bits.append(lsb(label) ^ lsb(self.zero_labels[wire]))
+        return bits
+
+    def wire_label(self, wire: int, bit: int) -> int:
+        """Label of any wire for a given plaintext bit (test hook)."""
+        return self.zero_labels[wire] ^ (self.r if bit else 0)
+
+
+def garble_circuit(
+    circuit: Circuit, seed: int = 0, rekeyed: bool = True
+) -> Garbler:
+    """Garble ``circuit`` deterministically from ``seed``.
+
+    Gate indices used as hash tweaks are the gate's position in the
+    netlist, matching HAAC's implicit instruction-position addressing.
+    """
+    circuit.validate()
+    prg = LabelPrg(seed)
+    r = prg.next_odd_block()
+    hasher = GateHasher(rekeyed=rekeyed)
+
+    zero_labels = [0] * circuit.n_wires
+    for wire in range(circuit.n_inputs):
+        zero_labels[wire] = prg.next_block()
+
+    tables: List[GarbledTable] = []
+    for gate_index, gate in enumerate(circuit.gates):
+        if gate.op is GateOp.AND:
+            out_zero, table = garble_and(
+                zero_labels[gate.a], zero_labels[gate.b], r, gate_index, hasher
+            )
+            zero_labels[gate.out] = out_zero
+            tables.append(table)
+        elif gate.op is GateOp.XOR:
+            zero_labels[gate.out] = garble_xor(zero_labels[gate.a], zero_labels[gate.b])
+        else:  # INV
+            zero_labels[gate.out] = garble_not(zero_labels[gate.a], r)
+
+    decode_bits = [lsb(zero_labels[w]) for w in circuit.outputs]
+    garbler = Garbler(circuit=circuit, r=r, zero_labels=zero_labels, hasher=hasher)
+    garbler.garbled = GarbledCircuit(
+        tables=tables,
+        decode_bits=decode_bits,
+        n_and_gates=len(tables),
+    )
+    return garbler

@@ -1,0 +1,127 @@
+"""1-out-of-2 oblivious transfer (Chou-Orlandi "simplest OT").
+
+GCs need OT once per Evaluator input bit: Bob must obtain the label for
+his bit without Alice learning the bit and without Bob learning the other
+label (paper section 2.1).  OT is off HAAC's accelerator critical path --
+the paper accelerates gate processing, not input transfer -- but the
+substrate implements it so the end-to-end protocol is complete.
+
+Construction (Chou-Orlandi 2015) over a Diffie-Hellman group::
+
+    Alice:  a <-$ Z_q,  A = g^a                  -> sends A
+    Bob:    b <-$ Z_q,  B = g^b          (choice 0)
+            B = A * g^b                  (choice 1)  -> sends B
+    Alice:  k0 = KDF(B^a),  k1 = KDF((B/A)^a)
+            sends  c0 = m0 xor k0,  c1 = m1 xor k1
+    Bob:    k_choice = KDF(A^b),  m_choice = c_choice xor k_choice
+
+SUBSTITUTION NOTE (DESIGN.md section 2): the group is a fixed 512-bit
+safe-prime group.  That is large enough to exercise the real modular
+arithmetic but far below deployment parameter sizes; this reproduction
+targets functional completeness, not cryptographic strength.  The KDF is
+a Davies-Meyer construction over the from-scratch AES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .aes import encrypt_block
+from .rng import MASK_128, LabelPrg
+
+__all__ = ["OtSender", "OtReceiver", "run_ot", "run_ot_batch", "GROUP_P", "GROUP_G"]
+
+# 512-bit safe prime p = 2q + 1 (RFC 2409 Oakley Group 1) and generator.
+GROUP_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF",
+    16,
+)
+GROUP_G = 2
+_GROUP_Q = (GROUP_P - 1) // 2
+
+
+def _kdf(point: int, tweak: int) -> int:
+    """Derive a 128-bit pad from a group element via AES Davies-Meyer."""
+    digest = tweak & MASK_128
+    value = point
+    while value:
+        block = value & MASK_128
+        digest = encrypt_block(block ^ digest, digest | 1) ^ block
+        value >>= 128
+    return digest
+
+
+@dataclass
+class OtSender:
+    """Alice's side of one batch of OTs (one ephemeral key per batch)."""
+
+    prg: LabelPrg
+
+    def __post_init__(self) -> None:
+        self._a = (self.prg.next_bits(256) % (_GROUP_Q - 1)) + 1
+        self.public = pow(GROUP_G, self._a, GROUP_P)
+
+    def encrypt(
+        self, index: int, b_point: int, message0: int, message1: int
+    ) -> Tuple[int, int]:
+        """Encrypt the two messages against Bob's point for OT ``index``."""
+        if not 0 < b_point < GROUP_P:
+            raise ValueError("invalid receiver point")
+        shared0 = pow(b_point, self._a, GROUP_P)
+        # B / A = B * A^{-1}; Fermat inversion since p is prime.
+        a_inv = pow(self.public, GROUP_P - 2, GROUP_P)
+        shared1 = pow(b_point * a_inv % GROUP_P, self._a, GROUP_P)
+        k0 = _kdf(shared0, 2 * index)
+        k1 = _kdf(shared1, 2 * index + 1)
+        return message0 ^ k0, message1 ^ k1
+
+
+@dataclass
+class OtReceiver:
+    """Bob's side: one point per choice bit."""
+
+    prg: LabelPrg
+    sender_public: int
+
+    def choose(self, choice: int) -> Tuple[int, int]:
+        """Return (point to send, secret exponent) for ``choice``."""
+        if choice not in (0, 1):
+            raise ValueError("choice must be a bit")
+        b = (self.prg.next_bits(256) % (_GROUP_Q - 1)) + 1
+        point = pow(GROUP_G, b, GROUP_P)
+        if choice:
+            point = point * self.sender_public % GROUP_P
+        return point, b
+
+    def decrypt(
+        self, index: int, choice: int, secret: int, cipher0: int, cipher1: int
+    ) -> int:
+        shared = pow(self.sender_public, secret, GROUP_P)
+        pad = _kdf(shared, 2 * index + choice)
+        return (cipher1 if choice else cipher0) ^ pad
+
+
+def run_ot(
+    message0: int, message1: int, choice: int, seed: int = 0
+) -> int:
+    """Run one complete OT locally (test / demo convenience)."""
+    return run_ot_batch([(message0, message1)], [choice], seed=seed)[0]
+
+
+def run_ot_batch(
+    pairs: Sequence[Tuple[int, int]], choices: Sequence[int], seed: int = 0
+) -> List[int]:
+    """Run a batch of OTs, one per (message pair, choice bit)."""
+    if len(pairs) != len(choices):
+        raise ValueError("pairs and choices must align")
+    sender = OtSender(LabelPrg(seed))
+    receiver = OtReceiver(LabelPrg(seed + 1), sender.public)
+    received = []
+    for index, ((m0, m1), choice) in enumerate(zip(pairs, choices)):
+        point, secret = receiver.choose(choice)
+        c0, c1 = sender.encrypt(index, point, m0, m1)
+        received.append(receiver.decrypt(index, choice, secret, c0, c1))
+    return received

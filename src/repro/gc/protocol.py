@@ -1,0 +1,168 @@
+"""End-to-end two-party GC session.
+
+Orchestrates the full protocol of paper section 2.1 over the in-memory
+channel:
+
+1. *Offline / garbling*: Alice garbles the circuit, producing tables and
+   the output decode map.
+2. *Input transfer*: Alice sends her own input labels directly; Bob's
+   labels are transferred by oblivious transfer so Alice never sees his
+   bits.
+3. *Online / evaluation*: Bob evaluates gate by gate, consuming the table
+   stream in order.
+4. *Output*: Bob decodes with the decode bits (both-learn variant) and
+   shares the result with Alice.
+
+This path is exercised by the quickstart example and the protocol tests;
+the HAAC accelerator replaces step 3's software evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..circuits.netlist import Circuit
+from .channel import ChannelPair, make_channel_pair
+from .evaluate import evaluate_circuit
+from .garble import garble_circuit
+from .ot import OtReceiver, OtSender
+from .rng import LabelPrg
+
+__all__ = ["SessionResult", "TwoPartySession", "run_two_party"]
+
+_LABEL_BYTES = 16
+_TABLE_BYTES = 32
+_GROUP_BYTES = 64  # one 512-bit group element
+_DECODE_BITS_PER_BYTE = 8
+
+
+@dataclass
+class SessionResult:
+    """Outcome of a two-party run."""
+
+    output_bits: List[int]
+    traffic: Dict[str, int]
+    total_bytes: int
+    and_gates: int
+    hash_calls_evaluator: int
+
+
+class TwoPartySession:
+    """Drives Alice (Garbler) and Bob (Evaluator) over a channel pair.
+
+    The two parties only interact through :class:`ChannelPair`; neither
+    reads the other's state.  ``seed`` fixes all randomness (labels, OT
+    ephemerals) for reproducibility.
+    """
+
+    def __init__(self, circuit: Circuit, seed: int = 0, rekeyed: bool = True) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.seed = seed
+        self.rekeyed = rekeyed
+        self.channels: ChannelPair = make_channel_pair()
+
+    def run(
+        self, garbler_bits: Sequence[int], evaluator_bits: Sequence[int]
+    ) -> SessionResult:
+        circuit = self.circuit
+        if len(garbler_bits) != circuit.n_garbler_inputs:
+            raise ValueError("wrong number of garbler input bits")
+        if len(evaluator_bits) != circuit.n_evaluator_inputs:
+            raise ValueError("wrong number of evaluator input bits")
+        down = self.channels.to_evaluator
+        up = self.channels.to_garbler
+
+        # -- Alice: offline garbling ------------------------------------
+        garbler = garble_circuit(circuit, seed=self.seed, rekeyed=self.rekeyed)
+        garbled = garbler.garbled
+
+        # -- OT round trip for Bob's labels (Bob consumes channel
+        #    messages in FIFO order, so the OT handshake goes first) ----
+        sender = OtSender(LabelPrg(self.seed + 0x0F))
+        down.send("ot_public", sender.public, _GROUP_BYTES)
+        receiver = OtReceiver(LabelPrg(self.seed + 0xB0B), down.recv("ot_public"))
+
+        points_and_secrets = [receiver.choose(bit) for bit in evaluator_bits]
+        up.send(
+            "ot_points",
+            [point for point, _ in points_and_secrets],
+            _GROUP_BYTES * len(points_and_secrets),
+        )
+        points = up.recv("ot_points")
+
+        cipher_pairs = []
+        for index, (wire, point) in enumerate(
+            zip(circuit.evaluator_input_wires, points)
+        ):
+            m0 = garbler.input_label(wire, 0)
+            m1 = garbler.input_label(wire, 1)
+            cipher_pairs.append(sender.encrypt(index, point, m0, m1))
+        down.send(
+            "ot_ciphers", cipher_pairs, 2 * _LABEL_BYTES * len(cipher_pairs)
+        )
+
+        # -- Alice: tables, decode map and her own input labels ---------
+        down.send("tables", garbled.tables, _TABLE_BYTES * len(garbled.tables))
+        down.send(
+            "decode",
+            garbled.decode_bits,
+            (len(garbled.decode_bits) + _DECODE_BITS_PER_BYTE - 1)
+            // _DECODE_BITS_PER_BYTE,
+        )
+        alice_labels = [
+            garbler.input_label(wire, bit)
+            for wire, bit in zip(circuit.garbler_input_wires, garbler_bits)
+        ]
+        down.send("garbler_labels", alice_labels, _LABEL_BYTES * len(alice_labels))
+
+        # -- Bob: receive everything and evaluate ------------------------
+        bob_ciphers = down.recv("ot_ciphers")
+        tables = down.recv("tables")
+        decode_bits = down.recv("decode")
+        bob_alice_labels = down.recv("garbler_labels")
+        bob_labels = [
+            receiver.decrypt(index, bit, secret, c0, c1)
+            for index, (bit, (_, secret), (c0, c1)) in enumerate(
+                zip(evaluator_bits, points_and_secrets, bob_ciphers)
+            )
+        ]
+        input_labels = list(bob_alice_labels) + bob_labels
+        garbled_for_bob = type(garbled)(
+            tables=tables,
+            decode_bits=decode_bits,
+            n_and_gates=len(tables),
+        )
+        result = evaluate_circuit(
+            circuit, garbled_for_bob, input_labels, rekeyed=self.rekeyed
+        )
+
+        # -- Output sharing ----------------------------------------------
+        up.send(
+            "outputs",
+            result.output_bits,
+            (len(result.output_bits) + _DECODE_BITS_PER_BYTE - 1)
+            // _DECODE_BITS_PER_BYTE,
+        )
+
+        return SessionResult(
+            output_bits=result.output_bits,
+            traffic=self.channels.traffic_report(),
+            total_bytes=self.channels.total_bytes,
+            and_gates=garbled.n_and_gates,
+            hash_calls_evaluator=result.hash_calls,
+        )
+
+
+def run_two_party(
+    circuit: Circuit,
+    garbler_bits: Sequence[int],
+    evaluator_bits: Sequence[int],
+    seed: int = 0,
+    rekeyed: bool = True,
+) -> SessionResult:
+    """One-call convenience wrapper around :class:`TwoPartySession`."""
+    return TwoPartySession(circuit, seed=seed, rekeyed=rekeyed).run(
+        garbler_bits, evaluator_bits
+    )

@@ -1,0 +1,68 @@
+"""Deterministic randomness for the GC substrate.
+
+All randomness in the reproduction flows through :class:`LabelPrg`, an
+AES-CTR pseudo-random generator built on the from-scratch AES of
+:mod:`repro.gc.aes`.  Determinism matters twice over:
+
+* experiments are reproducible bit-for-bit (DESIGN.md section 5), and
+* the Garbler's label generation in real GC deployments is itself a
+  seeded PRG expansion, so this mirrors the actual protocol structure.
+"""
+
+from __future__ import annotations
+
+from .aes import encrypt_block
+
+__all__ = ["LabelPrg", "MASK_128"]
+
+MASK_128 = (1 << 128) - 1
+
+
+class LabelPrg:
+    """AES-CTR pseudo-random generator producing 128-bit values.
+
+    Parameters
+    ----------
+    seed:
+        Any non-negative integer; it is folded into a 128-bit AES key.
+    """
+
+    def __init__(self, seed: int) -> None:
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        # Fold arbitrarily large seeds into 128 bits with a simple
+        # Davies-Meyer step so distinct seeds give distinct keys with
+        # overwhelming probability.
+        key = seed & MASK_128
+        overflow = seed >> 128
+        while overflow:
+            key = encrypt_block(key ^ (overflow & MASK_128), key) ^ key
+            overflow >>= 128
+        self._key = key
+        self._counter = 0
+
+    def next_block(self) -> int:
+        """Return the next 128-bit pseudo-random value."""
+        value = encrypt_block(self._counter, self._key)
+        self._counter += 1
+        return value
+
+    def next_bits(self, bits: int) -> int:
+        """Return ``bits`` pseudo-random bits as an integer."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        value = 0
+        produced = 0
+        while produced < bits:
+            value = (value << 128) | self.next_block()
+            produced += 128
+        return value >> (produced - bits)
+
+    def next_odd_block(self) -> int:
+        """Return a 128-bit value with its least-significant bit set.
+
+        Used to draw the FreeXOR global offset R, whose lsb must be 1 for
+        point-and-permute to work (the permute bit of W^1 = W^0 xor R then
+        always differs from that of W^0).
+        """
+        return self.next_block() | 1

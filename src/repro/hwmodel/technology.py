@@ -1,0 +1,44 @@
+"""Technology scaling constants (paper section 5, CAD methodology).
+
+The paper synthesises in TSMC 28HPC and scales to 16 nm with foundry
+factors: power reduced by 60 % (x0.4) and area by 1.9x.  Table 4 reports
+the *scaled* 16 nm numbers; this module holds the factors so the model
+can also report the raw 28 nm design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechNode", "TSMC_28", "TSMC_16", "SCALE_28_TO_16"]
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """A process node used by the area/power model."""
+
+    name: str
+    # Factors relative to the 16 nm reference point Table 4 reports.
+    area_factor: float
+    power_factor: float
+
+
+# 28 nm -> 16 nm: power x0.4 ("reduce 28nm power by 60%"), area /1.9.
+_POWER_28_TO_16 = 0.4
+_AREA_28_TO_16 = 1.0 / 1.9
+
+TSMC_16 = TechNode(name="TSMC-16FF+", area_factor=1.0, power_factor=1.0)
+TSMC_28 = TechNode(
+    name="TSMC-28HPC",
+    area_factor=1.0 / _AREA_28_TO_16,
+    power_factor=1.0 / _POWER_28_TO_16,
+)
+
+
+@dataclass(frozen=True)
+class _Scale:
+    area: float = _AREA_28_TO_16
+    power: float = _POWER_28_TO_16
+
+
+SCALE_28_TO_16 = _Scale()

@@ -1,0 +1,40 @@
+"""HAAC hardware model: config, DRAM, timing and functional simulation."""
+
+from .config import INSTR_BYTES, OOR_ADDR_BYTES, TABLE_BYTES, HaacConfig, Role
+from .coupled import CoupledResult, coupled_runtime, pull_based_runtime
+from .dram import DDR4, HBM2, BandwidthLedger, DramSpec
+from .functional import FunctionalRun, HaacMachineError, run_functional
+from .ge import GePipelineModel
+from .multicore import MulticoreResult, partition_components, simulate_multicore
+from .pipeline import HaacRun, run_best_reorder, run_haac
+from .stats import SimResult, StallBreakdown
+from .timing import compute_traffic, simulate
+
+__all__ = [
+    "coupled_runtime",
+    "pull_based_runtime",
+    "CoupledResult",
+    "GePipelineModel",
+    "simulate_multicore",
+    "partition_components",
+    "MulticoreResult",
+    "HaacConfig",
+    "Role",
+    "TABLE_BYTES",
+    "INSTR_BYTES",
+    "OOR_ADDR_BYTES",
+    "DramSpec",
+    "DDR4",
+    "HBM2",
+    "BandwidthLedger",
+    "simulate",
+    "compute_traffic",
+    "SimResult",
+    "StallBreakdown",
+    "run_functional",
+    "FunctionalRun",
+    "HaacMachineError",
+    "run_haac",
+    "run_best_reorder",
+    "HaacRun",
+]

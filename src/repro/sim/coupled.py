@@ -1,0 +1,158 @@
+"""Coupled (finite-buffering) memory model -- decoupling ablation.
+
+The paper's architecture converts every off-chip access into a stream
+and claims *complete* decoupling: execution never waits on memory except
+through aggregate bandwidth (runtime = max(compute, traffic)).  That
+claim holds only because the queues are provisioned and OoR wires are
+pushed ahead of need.  This module quantifies what decoupling is worth
+by simulating the counterfactuals:
+
+* ``coupled_runtime`` -- finite per-GE queue credit: the instruction,
+  table and OoRW streams are prefetched through a shared bandwidth pipe
+  into bounded queue SRAM; a GE stalls when it outruns its prefetcher.
+  With generous SRAM this converges to the decoupled result.
+* ``pull_based_runtime`` -- the strawman the paper argues against
+  (section 3.1.4): each OoR wire is a demand miss costing a full DRAM
+  round trip on the GE's critical path instead of a queued push.
+
+Both reuse the exact same streams and byte accounting as
+:mod:`repro.sim.timing`, so the three models are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.isa import HaacOp
+from ..core.passes.streams import StreamSet
+from ..core.sww import WIRE_BYTES
+from .config import OOR_ADDR_BYTES, TABLE_BYTES, HaacConfig
+from .timing import compute_traffic, simulate
+
+__all__ = ["CoupledResult", "coupled_runtime", "pull_based_runtime", "DRAM_LATENCY_CYCLES"]
+
+#: Demand-miss round trip (row activation + transfer + controller), in
+#: GE cycles at 1 GHz.  Typical DDR4 closed-page random read latency.
+DRAM_LATENCY_CYCLES = 60
+
+
+@dataclass
+class CoupledResult:
+    """Runtime under a finite-buffering or pull-based memory model."""
+
+    name: str
+    cycles: float
+    decoupled_cycles: float
+    stall_cycles: float
+    ge_clock_hz: float
+
+    @property
+    def runtime_s(self) -> float:
+        return self.cycles / self.ge_clock_hz
+
+    @property
+    def slowdown_vs_decoupled(self) -> float:
+        if self.decoupled_cycles == 0:
+            return 1.0
+        return self.cycles / self.decoupled_cycles
+
+
+def _per_instruction_bytes(streams: StreamSet, config: HaacConfig) -> list[float]:
+    """Prefetch bytes each instruction consumes, in program order."""
+    program = streams.program
+    costs = []
+    oor_cost = WIRE_BYTES + OOR_ADDR_BYTES
+    ge_local_index = {}
+    for ge in streams.ges:
+        for local, position in enumerate(ge.positions):
+            ge_local_index[position] = (ge, local)
+    for position, instr in enumerate(program.instructions):
+        ge, local = ge_local_index[position]
+        cost = float(config.instr_bytes)
+        if instr.op is HaacOp.AND:
+            cost += TABLE_BYTES
+        if ge.oor_a[local]:
+            cost += oor_cost
+        if ge.oor_b[local]:
+            cost += oor_cost
+        if instr.live:
+            cost += WIRE_BYTES
+        costs.append(cost)
+    return costs
+
+
+def coupled_runtime(
+    streams: StreamSet, config: HaacConfig, queue_bytes_per_ge: int | None = None
+) -> CoupledResult:
+    """Runtime with finite queue SRAM coupling compute to the prefetcher.
+
+    Model: the memory controller fills queues in program order at the
+    DRAM bandwidth; a GE may run at most ``queue_bytes_per_ge`` worth of
+    stream data ahead of the fill frontier.  Instruction ``p`` therefore
+    cannot issue before ``(prefix_bytes(p) - credit) / bandwidth``.
+    The decoupled compute schedule supplies the other lower bound.
+    """
+    queue_bytes = (
+        queue_bytes_per_ge
+        if queue_bytes_per_ge is not None
+        else config.queue_sram_bytes // max(1, config.n_ges)
+    )
+    decoupled = simulate(streams, config)
+    bandwidth = config.dram_bytes_per_ge_cycle
+
+    costs = _per_instruction_bytes(streams, config)
+    program = streams.program
+
+    # Issue replay with the extra prefetch constraint.
+    prefix = 0.0
+    input_bytes = program.n_inputs * WIRE_BYTES
+    stall = 0.0
+    finish = 0.0
+    issue_shift = 0.0
+    for position, base_issue in enumerate(streams.issue_cycle):
+        prefix += costs[position]
+        # The bytes for this instruction (minus the credit window) must
+        # have streamed in before it can issue.
+        fill_time = (input_bytes + prefix - queue_bytes) / bandwidth
+        issue = max(base_issue, fill_time)
+        stall += issue - base_issue
+        instr = program.instructions[position]
+        latency = config.and_latency if instr.op is HaacOp.AND else config.xor_latency
+        finish = max(finish, issue + latency + config.writeback_stages)
+
+    # Aggregate bandwidth still bounds the whole execution.
+    cycles = max(finish, decoupled.traffic_cycles)
+    return CoupledResult(
+        name=f"coupled({queue_bytes}B/GE)",
+        cycles=cycles,
+        decoupled_cycles=decoupled.runtime_cycles,
+        stall_cycles=stall,
+        ge_clock_hz=config.ge_clock_hz,
+    )
+
+
+def pull_based_runtime(
+    streams: StreamSet,
+    config: HaacConfig,
+    miss_latency: int = DRAM_LATENCY_CYCLES,
+) -> CoupledResult:
+    """Runtime if OoR wires were demand misses instead of pushed streams.
+
+    Every OoR operand stalls its GE for a DRAM round trip.  This is the
+    design the paper's OoRW queue eliminates ("pull-based access event,
+    which would introduce costly stalls into HAAC's in-order pipeline").
+    Serialisation is per GE: misses on different GEs overlap.
+    """
+    decoupled = simulate(streams, config)
+    per_ge_miss_cycles = [
+        miss_latency * len(ge.oor_addresses) for ge in streams.ges
+    ]
+    extra = max(per_ge_miss_cycles) if per_ge_miss_cycles else 0
+    cycles = max(decoupled.compute_cycles + extra, decoupled.traffic_cycles)
+    return CoupledResult(
+        name=f"pull-based({miss_latency}cyc)",
+        cycles=cycles,
+        decoupled_cycles=decoupled.runtime_cycles,
+        stall_cycles=float(extra),
+        ge_clock_hz=config.ge_clock_hz,
+    )

@@ -1,0 +1,119 @@
+"""Gate-engine pipeline structure (paper section 3.2, Figure 3 right).
+
+The paper reports Half-Gate execution pipelines of 21 stages for the
+Garbler and 18 for the Evaluator, plus a shared frontend (fetch/decode),
+3-cycle SWW reads and a 2-cycle write-back.  This module models where
+those depths come from so design studies can vary the microarchitecture
+coherently instead of treating "18" and "21" as magic numbers:
+
+* the AES datapath is pipelined one round per stage (10 rounds);
+* re-keyed hashing needs the key schedule, which HLS overlaps with the
+  AES rounds at a few stages of skew rather than serially;
+* the Garbler evaluates two hash *pairs* plus table-construction logic
+  (four hashes, paired across two parallel units -- Figure 2), costing
+  extra merge stages over the Evaluator's two hashes;
+* FreeXOR is a single stage of 128 XORs.
+
+The default parameters reproduce the paper's depths exactly (asserted in
+the tests); the derived numbers feed :class:`~repro.sim.config.HaacConfig`
+users who want to explore, e.g., half-round AES pipelining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["GePipelineModel", "PAPER_EVALUATOR_STAGES", "PAPER_GARBLER_STAGES"]
+
+PAPER_EVALUATOR_STAGES = 18
+PAPER_GARBLER_STAGES = 21
+
+
+@dataclass(frozen=True)
+class GePipelineModel:
+    """Derives Half-Gate pipeline depths from datapath parameters.
+
+    Parameters
+    ----------
+    aes_rounds:
+        Cipher rounds (10 for AES-128).
+    rounds_per_stage:
+        AES rounds retired per pipeline stage (1 in the paper's design;
+        2 would halve the AES depth at a frequency cost).
+    key_schedule_skew:
+        Extra stages the re-keyed hash's key expansion adds beyond what
+        overlaps with the AES rounds (the expansion of round key ``i``
+        must simply beat round ``i``; a small skew covers the first
+        rounds).
+    input_stages:
+        Operand formatting: sigma() permute + key select.
+    evaluator_merge_stages:
+        Output logic on the Evaluator: two hash outputs + two row XORs
+        + colour-bit muxing.
+    garbler_extra_stages:
+        Additional Garbler stages: the second hash pair's merge, table
+        row construction (T_G, T_E) and output-label assembly.
+    """
+
+    aes_rounds: int = 10
+    rounds_per_stage: int = 1
+    key_schedule_skew: int = 2
+    input_stages: int = 2
+    evaluator_merge_stages: int = 3
+    garbler_extra_stages: int = 3
+
+    @property
+    def aes_stages(self) -> int:
+        if self.rounds_per_stage < 1:
+            raise ValueError("rounds_per_stage must be >= 1")
+        return -(-self.aes_rounds // self.rounds_per_stage)  # ceil division
+
+    @property
+    def hash_stages(self) -> int:
+        """Depth of one re-keyed hash: schedule skew + AES + feedforward."""
+        return self.key_schedule_skew + self.aes_stages + 1
+
+    @property
+    def evaluator_stages(self) -> int:
+        """Evaluator Half-Gate: two parallel hashes then merge logic."""
+        return self.input_stages + self.hash_stages + self.evaluator_merge_stages
+
+    @property
+    def garbler_stages(self) -> int:
+        """Garbler Half-Gate: four hashes (two pairs) + table construction."""
+        return self.evaluator_stages + self.garbler_extra_stages
+
+    @property
+    def freexor_stages(self) -> int:
+        return 1
+
+    def stage_map(self) -> Dict[str, List[str]]:
+        """Named stages for documentation / visualization."""
+        hash_block = (
+            [f"keyexp_skew{i}" for i in range(self.key_schedule_skew)]
+            + [f"aes_round{i}" for i in range(self.aes_stages)]
+            + ["davies_meyer_xor"]
+        )
+        shared = [f"operand_fmt{i}" for i in range(self.input_stages)]
+        evaluator = (
+            shared
+            + hash_block
+            + [f"eval_merge{i}" for i in range(self.evaluator_merge_stages)]
+        )
+        garbler = evaluator + [
+            "pair_merge",
+            "table_rows",
+            "label_assemble",
+        ][: self.garbler_extra_stages]
+        return {
+            "evaluator": evaluator,
+            "garbler": garbler,
+            "freexor": ["xor128"],
+        }
+
+    def matches_paper(self) -> bool:
+        return (
+            self.evaluator_stages == PAPER_EVALUATOR_STAGES
+            and self.garbler_stages == PAPER_GARBLER_STAGES
+        )

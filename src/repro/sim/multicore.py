@@ -1,0 +1,176 @@
+"""Multi-core HAAC (the paper's future-work extension, section 6.5).
+
+The paper closes: "Additional compiler optimizations, higher levels of
+parallelism (e.g., multiple HAAC cores), and processing-in-memory may
+help close the gap [to plaintext]."  This module models the first of
+those: ``n_cores`` HAAC instances sharing one DRAM interface.
+
+Partitioning is the compiler's job and follows the same co-design
+philosophy: the program is split at *data-independent* boundaries.  For
+batch workloads (ReLU over independent activations, the paper's PI
+motivation) the circuit decomposes into connected components that can be
+sharded round-robin; entangled circuits (GradDesc) form one giant
+component and gain nothing -- exactly the behaviour the extension bench
+demonstrates.
+
+Model: each shard compiles and simulates independently on one core;
+compute proceeds in parallel across cores while the shared memory
+interface serialises aggregate traffic, so::
+
+    runtime = max(max_core_compute, total_traffic / bandwidth)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..circuits.netlist import Circuit, Gate
+from ..core.compiler import OptLevel, compile_circuit
+from .config import HaacConfig
+from .timing import simulate
+
+__all__ = ["MulticoreResult", "partition_components", "simulate_multicore"]
+
+
+@dataclass
+class MulticoreResult:
+    """Outcome of a sharded multi-core simulation."""
+
+    n_cores: int
+    shards: int
+    core_compute_cycles: List[int]
+    total_traffic_cycles: float
+    ge_clock_hz: float
+    single_core_runtime_s: float
+
+    @property
+    def runtime_cycles(self) -> float:
+        compute = max(self.core_compute_cycles) if self.core_compute_cycles else 0
+        return max(float(compute), self.total_traffic_cycles)
+
+    @property
+    def runtime_s(self) -> float:
+        return self.runtime_cycles / self.ge_clock_hz
+
+    @property
+    def speedup_vs_single_core(self) -> float:
+        if self.runtime_s == 0:
+            return float("inf")
+        return self.single_core_runtime_s / self.runtime_s
+
+
+def partition_components(circuit: Circuit) -> List[List[int]]:
+    """Connected components of the circuit's gate graph (union-find).
+
+    Gates sharing any wire (through operands or outputs) belong to one
+    component; components are returned as gate-position lists in
+    topological (original) order.
+    """
+    parent = list(range(circuit.n_wires))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for gate in circuit.gates:
+        for wire in gate.inputs():
+            union(gate.out, wire)
+
+    groups: dict[int, List[int]] = {}
+    for position, gate in enumerate(circuit.gates):
+        groups.setdefault(find(gate.out), []).append(position)
+    return list(groups.values())
+
+
+def _shard_circuit(circuit: Circuit, positions: List[int]) -> Circuit:
+    """Extract the sub-circuit formed by ``positions`` (one shard).
+
+    Keeps every primary input (inputs are cheap and shared); renumbers
+    internal wires densely.  Outputs are the original circuit outputs
+    produced inside the shard.
+    """
+    position_set = set(positions)
+    mapping = {wire: wire for wire in range(circuit.n_inputs)}
+    gates: List[Gate] = []
+    next_id = circuit.n_inputs
+    for position in sorted(positions):
+        gate = circuit.gates[position]
+        a = mapping[gate.a]
+        b = mapping[gate.b] if gate.b >= 0 else -1
+        mapping[gate.out] = next_id
+        gates.append(Gate(gate.op, a, b, next_id))
+        next_id += 1
+    outputs = [mapping[w] for w in circuit.outputs if w in mapping]
+    if not outputs:
+        outputs = [gates[-1].out] if gates else [0]
+    shard = Circuit(
+        n_garbler_inputs=circuit.n_garbler_inputs,
+        n_evaluator_inputs=circuit.n_evaluator_inputs,
+        outputs=outputs,
+        gates=gates,
+        name=circuit.name + "+shard",
+    )
+    shard.validate()
+    return shard
+
+
+def simulate_multicore(
+    circuit: Circuit,
+    config: HaacConfig,
+    n_cores: int,
+    opt: OptLevel = OptLevel.RO_RN_ESW,
+) -> MulticoreResult:
+    """Shard ``circuit`` across ``n_cores`` HAAC instances.
+
+    Connected components are assigned to cores round-robin by size
+    (largest first, to the least-loaded core).  A single-component
+    circuit degenerates to one busy core -- no speedup, as the paper's
+    "may help" hedge anticipates for serial workloads.
+    """
+    if n_cores < 1:
+        raise ValueError("need at least one core")
+    components = partition_components(circuit)
+    components.sort(key=len, reverse=True)
+
+    # Greedy balance: largest component to the least-loaded core.
+    assignments: List[List[int]] = [[] for _ in range(min(n_cores, len(components)))]
+    loads = [0] * len(assignments)
+    for component in components:
+        target = loads.index(min(loads))
+        assignments[target].extend(component)
+        loads[target] += len(component)
+
+    single = compile_circuit(
+        circuit, config.window, config.n_ges, opt=opt,
+        params=config.schedule_params(),
+    )
+    single_sim = simulate(single.streams, config)
+
+    core_compute: List[int] = []
+    total_traffic = 0.0
+    for positions in assignments:
+        shard = _shard_circuit(circuit, positions)
+        compiled = compile_circuit(
+            shard, config.window, config.n_ges, opt=opt,
+            params=config.schedule_params(),
+        )
+        sim = simulate(compiled.streams, config)
+        core_compute.append(sim.compute_cycles)
+        total_traffic += sim.traffic_cycles  # shared DRAM serialises
+
+    return MulticoreResult(
+        n_cores=n_cores,
+        shards=len(assignments),
+        core_compute_cycles=core_compute,
+        total_traffic_cycles=total_traffic,
+        ge_clock_hz=config.ge_clock_hz,
+        single_core_runtime_s=single_sim.runtime_s,
+    )

@@ -1,0 +1,62 @@
+"""One-call compile + simulate convenience used by benches and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..circuits.netlist import Circuit
+from ..core.compiler import CompileResult, OptLevel, compile_circuit
+from .config import HaacConfig
+from .stats import SimResult
+from .timing import simulate
+
+__all__ = ["run_haac", "run_best_reorder", "HaacRun"]
+
+
+@dataclass
+class HaacRun:
+    """A compiled program plus its simulated execution."""
+
+    compile_result: CompileResult
+    sim: SimResult
+    config: HaacConfig
+
+    @property
+    def runtime_s(self) -> float:
+        return self.sim.runtime_s
+
+
+def run_haac(
+    circuit: Circuit,
+    config: Optional[HaacConfig] = None,
+    opt: OptLevel = OptLevel.RO_RN_ESW,
+) -> HaacRun:
+    """Compile ``circuit`` at ``opt`` and simulate it on ``config``."""
+    config = config or HaacConfig.paper_default()
+    result = compile_circuit(
+        circuit,
+        config.window,
+        config.n_ges,
+        opt=opt,
+        params=config.schedule_params(),
+    )
+    sim = simulate(result.streams, config)
+    return HaacRun(compile_result=result, sim=sim, config=config)
+
+
+def run_best_reorder(
+    circuit: Circuit, config: Optional[HaacConfig] = None
+) -> Tuple[HaacRun, Dict[OptLevel, float]]:
+    """Simulate both reorderings (ESW on) and keep the faster, as the
+    paper does for its DDR4 results ("deploy the best performing
+    optimization, as performance is deterministic")."""
+    config = config or HaacConfig.paper_default()
+    runs: Dict[OptLevel, HaacRun] = {}
+    times: Dict[OptLevel, float] = {}
+    for opt in (OptLevel.RO_RN_ESW, OptLevel.SEG_RN_ESW):
+        run = run_haac(circuit, config, opt)
+        runs[opt] = run
+        times[opt] = run.runtime_s
+    best = min(runs.values(), key=lambda run: run.runtime_s)
+    return best, times

@@ -1,0 +1,101 @@
+"""Simulation statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .dram import BandwidthLedger
+
+__all__ = ["StallBreakdown", "SimResult"]
+
+
+@dataclass
+class StallBreakdown:
+    """Issue-stall cycles by cause, summed over GEs.
+
+    ``dependence`` -- waiting on an operand still in a GE pipeline;
+    ``window_sync`` -- write held for a straggling in-window reader of
+    the physical slot being overwritten (tagless SWW hazard);
+    ``bank_conflict`` -- SWW bank contention (only when modelled);
+    ``drain`` -- pipeline drain after the last issue.
+    """
+
+    dependence: int = 0
+    window_sync: int = 0
+    bank_conflict: int = 0
+    drain: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.dependence + self.window_sync + self.bank_conflict + self.drain
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "dependence": self.dependence,
+            "window_sync": self.window_sync,
+            "bank_conflict": self.bank_conflict,
+            "drain": self.drain,
+        }
+
+
+@dataclass
+class SimResult:
+    """Outcome of one timing simulation.
+
+    The decoupled-streaming model reports the compute component and the
+    off-chip traffic component separately; the runtime is their max (all
+    movement overlaps execution -- paper sections 3.1.4 and 6.2).
+    """
+
+    name: str
+    compute_cycles: int
+    traffic_cycles: float
+    ledger: BandwidthLedger
+    stalls: StallBreakdown
+    n_instructions: int
+    n_and: int
+    ge_clock_hz: float
+    issued_per_ge: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def runtime_cycles(self) -> float:
+        return max(float(self.compute_cycles), self.traffic_cycles)
+
+    @property
+    def runtime_s(self) -> float:
+        return self.runtime_cycles / self.ge_clock_hz
+
+    @property
+    def compute_s(self) -> float:
+        return self.compute_cycles / self.ge_clock_hz
+
+    @property
+    def traffic_s(self) -> float:
+        return self.traffic_cycles / self.ge_clock_hz
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.traffic_cycles > self.compute_cycles
+
+    @property
+    def cycles_per_gate(self) -> float:
+        if not self.n_instructions:
+            return 0.0
+        return self.runtime_cycles / self.n_instructions
+
+    @property
+    def gates_per_second(self) -> float:
+        if self.runtime_s == 0:
+            return 0.0
+        return self.n_instructions / self.runtime_s
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "runtime_us": self.runtime_s * 1e6,
+            "compute_us": self.compute_s * 1e6,
+            "traffic_us": self.traffic_s * 1e6,
+            "cycles_per_gate": self.cycles_per_gate,
+            "memory_bound": float(self.memory_bound),
+            "total_bytes": float(self.ledger.total_bytes),
+        }

@@ -1,0 +1,158 @@
+"""Cycle-level timing simulation of the HAAC accelerator.
+
+The model follows the paper's decoupled-streaming architecture
+(sections 3.1.4, 6.2): gate execution and off-chip movement overlap
+completely, so runtime is ``max(compute, traffic)`` -- exactly the two
+bars of the paper's Figure 7.
+
+**Compute component** -- replays the compiler's per-GE instruction
+streams in order.  Instruction ``p`` on GE ``g`` issues at::
+
+    issue(p) = max(last_issue(g) + 1,                  # 1 instr/cycle, in-order
+                   max over operands of value_ready)   # forwarding network
+
+where ``value_ready = issue(producer) + exec_latency`` (+1 cycle when the
+producer ran on a different GE), ``exec_latency`` is 1 for FreeXOR and
+the Half-Gate pipeline depth for AND (18 Evaluator / 21 Garbler).  An
+optional mode models SWW bank conflicts (each single-ported bank at the
+2 GHz SWW clock serves two accesses per 1 GHz GE cycle).
+
+**Traffic component** -- exact byte counts over the streaming DRAM pipe:
+preloaded inputs, instruction streams, garbled tables (read by the
+Evaluator, written by the Garbler -- same bytes), OoR wire reads plus
+their 4-byte address stream, and live-wire write-backs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from ..core.isa import HaacOp
+from ..core.passes.streams import StreamSet
+from ..core.sww import WIRE_BYTES
+from .config import OOR_ADDR_BYTES, TABLE_BYTES, HaacConfig
+from .dram import BandwidthLedger
+from .stats import SimResult, StallBreakdown
+
+__all__ = ["simulate", "compute_traffic"]
+
+
+def compute_traffic(streams: StreamSet, config: HaacConfig) -> BandwidthLedger:
+    """Exact off-chip byte counts for one program execution."""
+    program = streams.program
+    ledger = BandwidthLedger()
+    ledger.charge("input_rd", program.n_inputs * WIRE_BYTES)
+    ledger.charge("instr_rd", len(program.instructions) * config.instr_bytes)
+    ledger.charge("table_rd", program.n_and * TABLE_BYTES)
+    ledger.charge("oorw_rd", streams.oor_reads * (WIRE_BYTES + OOR_ADDR_BYTES))
+    ledger.charge("live_wr", program.n_live * WIRE_BYTES)
+    return ledger
+
+
+def _compute_cycles(
+    streams: StreamSet, config: HaacConfig, stalls: StallBreakdown
+) -> tuple[int, Dict[int, int]]:
+    """Replay the per-GE streams in order; returns (cycles, issued per GE)."""
+    program = streams.program
+    n_inputs = program.n_inputs
+    gates = program.netlist.gates
+    instructions = program.instructions
+    ge_of = streams.ge_of
+
+    and_latency = config.and_latency
+    xor_latency = config.xor_latency
+    forward = config.cross_ge_forward
+
+    value_ready = [0] * program.n_wires
+    producer_ge = [-1] * program.n_wires
+    ge_last_issue = [-1] * streams.n_ges
+    issued_per_ge: Dict[int, int] = defaultdict(int)
+    # Window-sync hazard of the tagless SWW: a write to wire o lands in
+    # the slot of wire o - capacity and must wait for its last in-window
+    # reader (see core.passes.streams._greedy_schedule).
+    capacity = streams.window.capacity
+    last_read_issue = [0] * program.n_wires
+
+    conflicts = config.model_bank_conflicts
+    n_banks = config.n_banks
+    # Each single-ported bank runs at sww_clock; accesses per GE cycle:
+    ports_per_cycle = max(1, int(config.sww_clock_hz / config.ge_clock_hz))
+    bank_load: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+
+    max_finish = 0
+    for position, gate in enumerate(gates):
+        instr = instructions[position]
+        ge = ge_of[position]
+        earliest_inorder = ge_last_issue[ge] + 1
+        ready = earliest_inorder
+        for wire in (gate.a, gate.b):
+            available = value_ready[wire]
+            if (
+                wire >= n_inputs
+                and producer_ge[wire] >= 0
+                and producer_ge[wire] != ge
+            ):
+                available += forward
+            if available > ready:
+                ready = available
+        if ready > earliest_inorder:
+            stalls.dependence += ready - earliest_inorder
+        out = program.out_addr(position)
+        evicted = out - capacity
+        if evicted >= 0 and last_read_issue[evicted] > ready:
+            stalls.window_sync += last_read_issue[evicted] - ready
+            ready = last_read_issue[evicted]
+        issue = ready
+
+        if conflicts:
+            # Reads hit banks at issue + 1 (address-to-bank stage).
+            while True:
+                cycle_loads = bank_load[issue + 1]
+                banks = [gate.a % n_banks, gate.b % n_banks]
+                if all(
+                    cycle_loads[bank] + banks.count(bank) <= ports_per_cycle
+                    for bank in set(banks)
+                ):
+                    for bank in banks:
+                        cycle_loads[bank] += 1
+                    break
+                stalls.bank_conflict += 1
+                issue += 1
+
+        ge_last_issue[ge] = issue
+        issued_per_ge[ge] += 1
+        latency = and_latency if instr.op is HaacOp.AND else xor_latency
+        value_ready[out] = issue + latency
+        producer_ge[out] = ge
+        for wire in (gate.a, gate.b):
+            if issue + 1 > last_read_issue[wire]:
+                last_read_issue[wire] = issue + 1
+        finish = issue + latency + config.writeback_stages
+        if finish > max_finish:
+            max_finish = finish
+
+    if instructions:
+        last_issue = max(ge_last_issue)
+        stalls.drain += max(0, max_finish - (last_issue + 1))
+    return max_finish, dict(issued_per_ge)
+
+
+def simulate(streams: StreamSet, config: HaacConfig) -> SimResult:
+    """Run the decoupled timing model for one compiled program."""
+    stalls = StallBreakdown()
+    compute_cycles, issued_per_ge = _compute_cycles(streams, config, stalls)
+    ledger = compute_traffic(streams, config)
+    traffic_cycles = ledger.total_bytes / config.dram_bytes_per_ge_cycle
+    program = streams.program
+    return SimResult(
+        name=program.name,
+        compute_cycles=compute_cycles,
+        traffic_cycles=traffic_cycles,
+        ledger=ledger,
+        stalls=stalls,
+        n_instructions=len(program.instructions),
+        n_and=program.n_and,
+        ge_clock_hz=config.ge_clock_hz,
+        issued_per_ge=issued_per_ge,
+    )

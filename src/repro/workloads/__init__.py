@@ -1,0 +1,21 @@
+"""VIP-Bench workload circuits (paper section 5, Table 2)."""
+
+from .base import BuiltWorkload, PaperTable2Row, Workload
+from .registry import (
+    PAPER_ORDER,
+    WORKLOADS,
+    build_all_scaled,
+    get_workload,
+    iter_workloads,
+)
+
+__all__ = [
+    "Workload",
+    "BuiltWorkload",
+    "PaperTable2Row",
+    "WORKLOADS",
+    "PAPER_ORDER",
+    "get_workload",
+    "iter_workloads",
+    "build_all_scaled",
+]

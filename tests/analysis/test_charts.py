@@ -1,0 +1,78 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import (
+    bar_chart,
+    grouped_bar_chart,
+    log_bar_chart,
+    stacked_shares,
+)
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart([("a", 10.0), ("b", 5.0)], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_title_and_unit(self):
+        text = bar_chart([("x", 1.0)], title="T", unit="us")
+        assert text.startswith("T\n")
+        assert "1us" in text
+
+    def test_zero_values(self):
+        text = bar_chart([("a", 0.0), ("b", 2.0)])
+        lines = text.splitlines()
+        assert "#" not in lines[0]
+
+    def test_empty(self):
+        assert bar_chart([], title="nothing") == "nothing"
+
+
+class TestLogBarChart:
+    def test_log_compression(self):
+        text = log_bar_chart([("big", 1000.0), ("small", 10.0)], width=30)
+        lines = text.splitlines()
+        big = lines[0].count("#")
+        small = lines[1].count("#")
+        # Log scale: 10 vs 1000 is 1/3 of the range above 1, not 1/100.
+        assert small > big / 10
+        assert big > small
+
+    def test_nonpositive_filtered(self):
+        assert log_bar_chart([("zero", 0.0)], title="t") == "t"
+
+    def test_labels_aligned(self):
+        text = log_bar_chart([("aa", 2.0), ("b", 3.0)])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestGrouped:
+    def test_structure(self):
+        text = grouped_bar_chart(
+            [("G1", [("s1", 1.0), ("s2", 10.0)]), ("G2", [("s1", 5.0)])],
+            title="grouped",
+        )
+        assert "grouped" in text
+        assert "G1:" in text and "G2:" in text
+        assert text.count("|") == 3
+
+
+class TestStacked:
+    def test_bar_width(self):
+        rows = [("w", {"A": 0.5, "B": 0.5})]
+        text = stacked_shares(rows, width=40, legend=[("A", "A"), ("B", "B")])
+        bar_line = text.splitlines()[-1]
+        inner = bar_line.split("|")[1]
+        assert len(inner) == 40
+        assert inner.count("A") == 20
+        assert inner.count("B") == 20
+
+    def test_legend_rendered(self):
+        text = stacked_shares(
+            [("x", {"A": 1.0})], legend=[("A", "a")], title="t"
+        )
+        assert "legend: a=A" in text

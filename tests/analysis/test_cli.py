@@ -1,0 +1,75 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.which == ["all"]
+        assert not args.quick
+
+    def test_simulate_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "Hamm", "--ges", "4", "--dram", "hbm2"]
+        )
+        assert args.name == "Hamm"
+        assert args.ges == 4
+        assert args.dram == "hbm2"
+
+
+class TestCommands:
+    def test_workloads_list(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("BubbSt", "ReLU", "GradDesc"):
+            assert name in out
+
+    def test_workloads_detail(self, capsys):
+        assert main(["workloads", "ReLU"]) == 0
+        out = capsys.readouterr().out
+        assert "levels" in out
+        assert "ILP" in out
+
+    def test_experiments_table1(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        assert "GCs" in capsys.readouterr().out
+
+    def test_experiments_table4(self, capsys):
+        assert main(["experiments", "table4"]) == 0
+        assert "Half-Gate" in capsys.readouterr().out
+
+    def test_experiments_unknown(self, capsys):
+        assert main(["experiments", "table99"]) == 2
+
+    def test_compile_command(self, capsys):
+        assert main(["compile", "Merse", "--ges", "2", "--sww-kb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "ro_rn_esw" in out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "Merse", "--ges", "2", "--sww-kb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime_us" in out
+
+    def test_protocol_command(self, capsys):
+        assert main(["protocol", "--alice", "10", "--bob", "5", "--width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "richer: Alice" in out
+
+    def test_protocol_tie_goes_to_bob_side(self, capsys):
+        assert main(["protocol", "--alice", "5", "--bob", "5", "--width", "8"]) == 0
+        assert "Bob (or tie)" in capsys.readouterr().out
+
+    def test_figures_fig9(self, capsys):
+        assert main(["figures", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "legend:" in out

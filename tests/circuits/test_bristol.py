@@ -1,0 +1,89 @@
+"""Bristol Fashion reader/writer round trips."""
+
+import random
+
+import pytest
+
+from repro.circuits.bristol import (
+    dumps_bristol,
+    loads_bristol,
+)
+from repro.circuits.netlist import CircuitError, GateOp
+from tests.conftest import random_circuit
+
+
+class TestWriter:
+    def test_header(self, tiny_circuit):
+        text = dumps_bristol(tiny_circuit)
+        lines = text.strip().splitlines()
+        assert lines[0] == "3 5"
+        assert lines[1] == "2 1 1"
+        assert lines[2] == "1 1"
+
+    def test_gate_lines(self, tiny_circuit):
+        lines = dumps_bristol(tiny_circuit).strip().splitlines()
+        assert "2 1 0 1 2 AND" in lines
+        assert "1 1 0 3 INV" in lines
+        assert "2 1 2 3 4 XOR" in lines
+
+
+class TestRoundTrip:
+    def test_tiny_roundtrip_semantics(self, tiny_circuit):
+        parsed = loads_bristol(dumps_bristol(tiny_circuit))
+        for a in (0, 1):
+            for b in (0, 1):
+                assert parsed.eval_plain([a], [b]) == tiny_circuit.eval_plain([a], [b])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_roundtrip(self, seed):
+        rng = random.Random(seed)
+        circuit = random_circuit(rng, n_inputs=6, n_gates=60)
+        # Bristol outputs must be the last wires; rebuild outputs to comply.
+        circuit.outputs = list(range(circuit.n_wires - 4, circuit.n_wires))
+        parsed = loads_bristol(dumps_bristol(circuit))
+        for _ in range(10):
+            g = [rng.randint(0, 1) for _ in range(circuit.n_garbler_inputs)]
+            e = [rng.randint(0, 1) for _ in range(circuit.n_evaluator_inputs)]
+            assert parsed.eval_plain(g, e) == circuit.eval_plain(g, e)
+
+
+class TestReader:
+    def test_single_input_value(self):
+        text = "1 3\n1 2\n1 1\n\n2 1 0 1 2 XOR\n"
+        circuit = loads_bristol(text)
+        assert circuit.n_garbler_inputs == 2
+        assert circuit.n_evaluator_inputs == 0
+        assert circuit.eval_plain([1, 0], []) == [1]
+
+    def test_eqw_aliasing(self):
+        # EQW copies wire 0 into wire 2; XOR uses the alias.
+        text = "2 4\n2 1 1\n1 1\n\n1 1 0 2 EQW\n2 1 2 1 3 XOR\n"
+        circuit = loads_bristol(text)
+        assert len(circuit.gates) == 1
+        assert circuit.eval_plain([1], [1]) == [0]
+        assert circuit.eval_plain([1], [0]) == [1]
+
+    def test_not_alias_accepted(self):
+        text = "1 3\n2 1 1\n1 1\n\n1 1 0 2 NOT\n"
+        circuit = loads_bristol(text)
+        assert circuit.gates[0].op is GateOp.INV
+
+    def test_mand_rejected(self):
+        text = "1 4\n2 2 1\n1 1\n\n3 1 0 1 2 3 MAND\n"
+        with pytest.raises(CircuitError):
+            loads_bristol(text)
+
+    def test_too_few_gate_lines(self):
+        text = "2 4\n2 1 1\n1 1\n\n2 1 0 1 2 XOR\n"
+        with pytest.raises(CircuitError):
+            loads_bristol(text)
+
+    def test_three_input_values_rejected(self):
+        text = "1 4\n3 1 1 1\n1 1\n\n2 1 0 1 3 XOR\n"
+        with pytest.raises(CircuitError):
+            loads_bristol(text)
+
+    def test_use_before_definition(self):
+        text = "1 3\n1 2\n1 1\n\n2 1 0 5 2 XOR\n"
+        with pytest.raises(CircuitError):
+            loads_bristol(text)

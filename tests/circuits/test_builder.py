@@ -1,0 +1,121 @@
+"""CircuitBuilder DSL behaviour."""
+
+import pytest
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.netlist import CircuitError, GateOp
+
+
+class TestInputs:
+    def test_garbler_before_evaluator(self):
+        builder = CircuitBuilder()
+        builder.add_evaluator_inputs(2)
+        with pytest.raises(CircuitError):
+            builder.add_garbler_inputs(1)
+
+    def test_inputs_frozen_after_gate(self):
+        builder = CircuitBuilder()
+        wires = builder.add_garbler_inputs(2)
+        builder.XOR(wires[0], wires[1])
+        with pytest.raises(CircuitError):
+            builder.add_evaluator_inputs(1)
+
+    def test_no_inputs_no_gates(self):
+        builder = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            builder.XOR(0, 0)
+
+    def test_wire_ids_sequential(self):
+        builder = CircuitBuilder()
+        assert builder.add_garbler_inputs(3) == [0, 1, 2]
+        assert builder.add_evaluator_inputs(2) == [3, 4]
+
+
+class TestGates:
+    def test_derived_ops_semantics(self):
+        builder = CircuitBuilder()
+        a, b = builder.add_garbler_inputs(2)
+        outs = [
+            builder.OR(a, b),
+            builder.NAND(a, b),
+            builder.XNOR(a, b),
+        ]
+        builder.mark_outputs(outs)
+        circuit = builder.build()
+        for va in (0, 1):
+            for vb in (0, 1):
+                got = circuit.eval_plain([va, vb], [])
+                assert got == [va | vb, 1 - (va & vb), 1 - (va ^ vb)]
+
+    def test_unknown_wire_rejected(self):
+        builder = CircuitBuilder()
+        builder.add_garbler_inputs(1)
+        with pytest.raises(CircuitError):
+            builder.AND(0, 5)
+
+    def test_gate_count_tracking(self):
+        builder = CircuitBuilder()
+        a, b = builder.add_garbler_inputs(2)
+        builder.AND(a, b)
+        builder.XOR(a, b)
+        assert builder.n_gates == 2
+        assert builder.n_wires == 4
+
+
+class TestConstants:
+    def test_const_values(self):
+        builder = CircuitBuilder()
+        builder.add_garbler_inputs(1)
+        zero = builder.const_zero()
+        one = builder.const_one()
+        builder.mark_outputs([zero, one])
+        circuit = builder.build()
+        for bit in (0, 1):
+            assert circuit.eval_plain([bit], []) == [0, 1]
+
+    def test_consts_are_cached(self):
+        builder = CircuitBuilder()
+        builder.add_garbler_inputs(1)
+        assert builder.const_zero() == builder.const_zero()
+        assert builder.const_one() == builder.const_one()
+
+    def test_const_bits_little_endian(self):
+        builder = CircuitBuilder()
+        builder.add_garbler_inputs(1)
+        bits = builder.const_bits(0b1011, 6)
+        builder.mark_outputs(bits)
+        circuit = builder.build()
+        assert circuit.eval_plain([0], []) == [1, 1, 0, 1, 0, 0]
+
+    def test_const_bits_rejects_bad_width(self):
+        builder = CircuitBuilder()
+        builder.add_garbler_inputs(1)
+        with pytest.raises(CircuitError):
+            builder.const_bits(1, 0)
+
+
+class TestBuild:
+    def test_requires_outputs(self):
+        builder = CircuitBuilder()
+        a, b = builder.add_garbler_inputs(2)
+        builder.XOR(a, b)
+        with pytest.raises(CircuitError):
+            builder.build()
+
+    def test_built_circuit_is_validated(self):
+        builder = CircuitBuilder()
+        a, b = builder.add_garbler_inputs(2)
+        builder.mark_outputs([builder.AND(a, b)])
+        circuit = builder.build("named")
+        assert circuit.name == "named"
+        assert circuit.gates[0].op is GateOp.AND
+
+    def test_output_order_preserved(self):
+        builder = CircuitBuilder()
+        a, b = builder.add_garbler_inputs(2)
+        x = builder.AND(a, b)
+        y = builder.XOR(a, b)
+        builder.mark_outputs([y])
+        builder.mark_outputs([x])
+        circuit = builder.build()
+        assert circuit.outputs == [y, x]

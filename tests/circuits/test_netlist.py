@@ -1,0 +1,132 @@
+"""Circuit IR invariants, validation and analysis."""
+
+import random
+
+import pytest
+
+from repro.circuits.netlist import Circuit, CircuitError, Gate, GateOp
+from tests.conftest import random_circuit
+
+
+class TestGate:
+    def test_inv_requires_single_input(self):
+        with pytest.raises(CircuitError):
+            Gate(GateOp.INV, 0, 1, 2)
+
+    def test_binary_requires_two_inputs(self):
+        with pytest.raises(CircuitError):
+            Gate(GateOp.AND, 0, -1, 2)
+
+    def test_negative_wires_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate(GateOp.XOR, -2, 0, 1)
+
+    def test_gate_eval(self):
+        assert Gate(GateOp.AND, 0, 1, 2).eval(1, 1) == 1
+        assert Gate(GateOp.AND, 0, 1, 2).eval(1, 0) == 0
+        assert Gate(GateOp.XOR, 0, 1, 2).eval(1, 1) == 0
+        assert Gate(GateOp.INV, 0, -1, 1).eval(1) == 0
+
+    def test_inputs_iteration(self):
+        assert list(Gate(GateOp.AND, 3, 4, 5).inputs()) == [3, 4]
+        assert list(Gate(GateOp.INV, 3, -1, 5).inputs()) == [3]
+
+
+class TestValidation:
+    def test_valid_circuit(self, tiny_circuit):
+        tiny_circuit.validate()  # should not raise
+
+    def test_read_before_define(self):
+        gates = [Gate(GateOp.XOR, 0, 3, 2), Gate(GateOp.XOR, 0, 1, 3)]
+        with pytest.raises(CircuitError, match="before it is defined"):
+            Circuit(1, 1, [3], gates).validate()
+
+    def test_ssa_violation(self):
+        gates = [Gate(GateOp.XOR, 0, 1, 2), Gate(GateOp.AND, 0, 1, 2)]
+        with pytest.raises(CircuitError, match="SSA"):
+            Circuit(1, 1, [2], gates).validate()
+
+    def test_overwrite_input(self):
+        gates = [Gate(GateOp.XOR, 0, 1, 1)]
+        with pytest.raises(CircuitError, match="overwrites input"):
+            Circuit(1, 1, [1], gates).validate()
+
+    def test_undefined_output(self):
+        gates = [Gate(GateOp.XOR, 0, 1, 2)]
+        with pytest.raises(CircuitError, match="output"):
+            Circuit(1, 1, [9], gates).validate()
+
+    def test_wire_out_of_range(self):
+        gates = [Gate(GateOp.XOR, 0, 99, 2)]
+        with pytest.raises(CircuitError):
+            Circuit(1, 1, [2], gates).validate()
+
+
+class TestAnalysis:
+    def test_levels(self, tiny_circuit):
+        # AND and INV read inputs (level 1); XOR reads both (level 2).
+        assert tiny_circuit.gate_levels() == [1, 1, 2]
+        assert tiny_circuit.depth() == 2
+
+    def test_stats(self, tiny_circuit):
+        stats = tiny_circuit.stats()
+        assert stats.gates == 3
+        assert stats.and_gates == 1
+        assert stats.xor_gates == 1
+        assert stats.inv_gates == 1
+        assert stats.levels == 2
+        assert stats.ilp == pytest.approx(1.5)
+        assert stats.and_fraction == pytest.approx(1 / 3)
+
+    def test_stats_row(self, tiny_circuit):
+        row = tiny_circuit.stats().as_row()
+        assert row["levels"] == 2
+        assert row["and_pct"] == pytest.approx(100 / 3)
+
+    def test_fanout(self, tiny_circuit):
+        fanout = tiny_circuit.fanout()
+        assert fanout[0] == 2  # wire 0 feeds AND and INV
+        assert fanout[2] == 1
+        assert fanout[4] == 0  # final output is not an internal consumer
+
+    def test_producer_map(self, tiny_circuit):
+        assert tiny_circuit.producer_map() == {2: 0, 3: 1, 4: 2}
+
+    def test_empty_circuit_depth(self):
+        circuit = Circuit(1, 0, [0], [])
+        assert circuit.depth() == 0
+        assert circuit.stats().ilp == 0.0
+
+
+class TestEvalPlain:
+    def test_truth_table(self, tiny_circuit):
+        # out = (a AND b) XOR (NOT a)
+        for a in (0, 1):
+            for b in (0, 1):
+                expected = (a & b) ^ (a ^ 1)
+                assert tiny_circuit.eval_plain([a], [b]) == [expected]
+
+    def test_input_count_checked(self, tiny_circuit):
+        with pytest.raises(CircuitError):
+            tiny_circuit.eval_plain([0, 1], [0])
+        with pytest.raises(CircuitError):
+            tiny_circuit.eval_plain([0], [])
+
+    def test_non_bit_inputs_masked(self, tiny_circuit):
+        assert tiny_circuit.eval_plain([3], [2]) == tiny_circuit.eval_plain([1], [0])
+
+
+class TestRandomCircuits:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_validate(self, seed):
+        circuit = random_circuit(random.Random(seed), n_gates=100)
+        circuit.validate()
+        assert circuit.depth() >= 1
+        assert len(circuit.gate_levels()) == 100
+
+    def test_levels_strictly_increase_along_edges(self):
+        circuit = random_circuit(random.Random(9), n_gates=200)
+        levels = circuit.wire_levels()
+        for gate in circuit.gates:
+            for wire in gate.inputs():
+                assert levels[gate.out] > levels[wire]

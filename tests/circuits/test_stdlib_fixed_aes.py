@@ -1,0 +1,135 @@
+"""Fixed-point circuits and the AES-128 circuit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.stdlib.aes_circuit import (
+    build_aes128_circuit,
+    gf_mul_circuit,
+    gf_square_free,
+    sbox_circuit,
+)
+from repro.circuits.stdlib.fixed import FixedFormat, fx_add, fx_mul, fx_sub
+from repro.circuits.stdlib.integer import decode_int, encode_int
+from repro.gc.aes import S_BOX, _gf_mul, encrypt_block
+
+_FX = FixedFormat(width=16, fraction_bits=6)
+_FX_VALS = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestFixedFormat:
+    def test_encode_decode_roundtrip(self):
+        for value in (0.0, 1.0, -1.5, 3.25, -100.0):
+            assert _FX.decode(_FX.encode(value)) == pytest.approx(value, abs=2**-6)
+
+    def test_invalid_fraction_bits(self):
+        with pytest.raises(ValueError):
+            FixedFormat(width=8, fraction_bits=8)
+
+
+class TestFixedOps:
+    @settings(max_examples=30, deadline=None)
+    @given(a=_FX_VALS, b=_FX_VALS)
+    def test_add_sub(self, a, b):
+        builder = CircuitBuilder()
+        xs = builder.add_garbler_inputs(_FX.width)
+        ys = builder.add_evaluator_inputs(_FX.width)
+        builder.mark_outputs(fx_add(builder, _FX, xs, ys))
+        builder.mark_outputs(fx_sub(builder, _FX, xs, ys))
+        circuit = builder.build()
+        out = circuit.eval_plain(_FX.encode(a), _FX.encode(b))
+        got_add = _FX.decode(out[: _FX.width])
+        got_sub = _FX.decode(out[_FX.width :])
+        qa, qb = _FX.decode(_FX.encode(a)), _FX.decode(_FX.encode(b))
+        if abs(qa + qb) < 500:  # inside representable range
+            assert got_add == pytest.approx(qa + qb, abs=2**-5)
+        if abs(qa - qb) < 500:
+            assert got_sub == pytest.approx(qa - qb, abs=2**-5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.floats(min_value=-15, max_value=15, allow_nan=False),
+        b=st.floats(min_value=-15, max_value=15, allow_nan=False),
+    )
+    def test_mul(self, a, b):
+        builder = CircuitBuilder()
+        xs = builder.add_garbler_inputs(_FX.width)
+        ys = builder.add_evaluator_inputs(_FX.width)
+        builder.mark_outputs(fx_mul(builder, _FX, xs, ys))
+        circuit = builder.build()
+        out = circuit.eval_plain(_FX.encode(a), _FX.encode(b))
+        qa, qb = _FX.decode(_FX.encode(a)), _FX.decode(_FX.encode(b))
+        assert _FX.decode(out) == pytest.approx(qa * qb, abs=2**-5)
+
+
+class TestGfCircuits:
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_gf_mul(self, a, b):
+        builder = CircuitBuilder()
+        xs = builder.add_garbler_inputs(8)
+        ys = builder.add_evaluator_inputs(8)
+        builder.mark_outputs(gf_mul_circuit(builder, xs, ys))
+        circuit = builder.build()
+        out = decode_int(circuit.eval_plain(encode_int(a, 8), encode_int(b, 8)))
+        assert out == _gf_mul(a, b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(0, 255))
+    def test_gf_square_is_free(self, a):
+        builder = CircuitBuilder()
+        xs = builder.add_garbler_inputs(8)
+        out_wires = gf_square_free(builder, xs)
+        builder.mark_outputs(out_wires)
+        circuit = builder.build()
+        assert circuit.stats().and_gates == 0  # squaring is linear
+        out = decode_int(circuit.eval_plain(encode_int(a, 8), []))
+        assert out == _gf_mul(a, a)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 255))
+    def test_sbox(self, a):
+        builder = CircuitBuilder()
+        xs = builder.add_garbler_inputs(8)
+        builder.mark_outputs(sbox_circuit(builder, xs))
+        circuit = builder.build()
+        out = decode_int(circuit.eval_plain(encode_int(a, 8), []))
+        assert out == S_BOX[a]
+
+
+class TestAes128Circuit:
+    @pytest.fixture(scope="class")
+    def aes_circuit(self):
+        return build_aes128_circuit()
+
+    def test_fips_vector(self, aes_circuit):
+        key = 0x000102030405060708090A0B0C0D0E0F
+        pt = 0x00112233445566778899AABBCCDDEEFF
+        out = aes_circuit.eval_plain(
+            [(key >> i) & 1 for i in range(128)],
+            [(pt >> i) & 1 for i in range(128)],
+        )
+        got = sum(bit << i for i, bit in enumerate(out))
+        assert got == 0x69C4E0D86A7B0430D8CDB78070B4C55A
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        key=st.integers(0, (1 << 128) - 1), pt=st.integers(0, (1 << 128) - 1)
+    )
+    def test_matches_software_aes(self, aes_circuit, key, pt):
+        out = aes_circuit.eval_plain(
+            [(key >> i) & 1 for i in range(128)],
+            [(pt >> i) & 1 for i in range(128)],
+        )
+        got = sum(bit << i for i, bit in enumerate(out))
+        assert got == encrypt_block(pt, key)
+
+    def test_structure(self, aes_circuit):
+        stats = aes_circuit.stats()
+        # 200 S-boxes x 4 GF multiplications x 64 ANDs.
+        assert stats.and_gates == 200 * 4 * 64
+        assert aes_circuit.n_garbler_inputs == 128
+        assert aes_circuit.n_evaluator_inputs == 128
+        assert len(aes_circuit.outputs) == 128

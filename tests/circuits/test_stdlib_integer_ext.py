@@ -1,0 +1,109 @@
+"""Kogge-Stone adder and restoring division."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.netlist import GateOp
+from repro.circuits.stdlib.integer import (
+    add,
+    decode_int,
+    divmod_unsigned,
+    encode_int,
+    kogge_stone_add,
+)
+
+_VALS = st.integers(0, 255)
+
+
+def _binary(build_fn, a, b, width=8):
+    builder = CircuitBuilder()
+    xs = builder.add_garbler_inputs(width)
+    ys = builder.add_evaluator_inputs(width)
+    builder.mark_outputs(build_fn(builder, xs, ys))
+    circuit = builder.build()
+    return circuit, circuit.eval_plain(encode_int(a, width), encode_int(b, width))
+
+
+class TestKoggeStone:
+    @settings(max_examples=50, deadline=None)
+    @given(a=_VALS, b=_VALS)
+    def test_matches_ripple(self, a, b):
+        _, ks = _binary(kogge_stone_add, a, b)
+        _, ripple = _binary(add, a, b)
+        assert ks == ripple
+        assert decode_int(ks) == (a + b) % 256
+
+    def test_log_depth(self):
+        builder = CircuitBuilder()
+        xs = builder.add_garbler_inputs(32)
+        ys = builder.add_evaluator_inputs(32)
+        builder.mark_outputs(kogge_stone_add(builder, xs, ys))
+        circuit = builder.build()
+        assert circuit.depth() <= 2 * 6 + 2  # ~2*log2(32) levels
+
+    def test_costs_more_tables_than_ripple(self):
+        ks_circuit, _ = _binary(kogge_stone_add, 1, 1)
+        ripple_circuit, _ = _binary(add, 1, 1)
+        ks_ands = sum(1 for g in ks_circuit.gates if g.op is GateOp.AND)
+        rp_ands = sum(1 for g in ripple_circuit.gates if g.op is GateOp.AND)
+        assert ks_ands > rp_ands
+
+    def test_width_mismatch(self):
+        builder = CircuitBuilder()
+        xs = builder.add_garbler_inputs(4)
+        with pytest.raises(ValueError):
+            kogge_stone_add(builder, xs[:2], xs[:3])
+
+    def test_empty_operands(self):
+        builder = CircuitBuilder()
+        builder.add_garbler_inputs(1)
+        assert kogge_stone_add(builder, [], []) == []
+
+
+class TestDivision:
+    @settings(max_examples=50, deadline=None)
+    @given(a=_VALS, b=st.integers(1, 255))
+    def test_quotient_remainder(self, a, b):
+        def build(builder, xs, ys):
+            q, r = divmod_unsigned(builder, xs, ys)
+            return q + r
+
+        _, out = _binary(build, a, b)
+        assert decode_int(out[:8]) == a // b
+        assert decode_int(out[8:]) == a % b
+
+    def test_divide_by_zero_convention(self):
+        def build(builder, xs, ys):
+            q, r = divmod_unsigned(builder, xs, ys)
+            return q + r
+
+        _, out = _binary(build, 77, 0)
+        assert decode_int(out[:8]) == 255  # all-ones quotient
+        assert decode_int(out[8:]) == 77  # remainder = dividend
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=_VALS)
+    def test_divide_by_one(self, a):
+        def build(builder, xs, ys):
+            q, r = divmod_unsigned(builder, xs, ys)
+            return q + r
+
+        _, out = _binary(build, a, 1)
+        assert decode_int(out[:8]) == a
+        assert decode_int(out[8:]) == 0
+
+    def test_width_mismatch(self):
+        builder = CircuitBuilder()
+        xs = builder.add_garbler_inputs(4)
+        with pytest.raises(ValueError):
+            divmod_unsigned(builder, xs[:2], xs[:3])
+
+    def test_division_is_deep(self):
+        def build(builder, xs, ys):
+            q, r = divmod_unsigned(builder, xs, ys)
+            return q + r
+
+        circuit, _ = _binary(build, 1, 1)
+        assert circuit.depth() > 100  # n^2-ish dependence chain

@@ -1,0 +1,181 @@
+"""Logic combinators: mux, popcount, reductions, shifts."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.stdlib.integer import decode_int, encode_int
+from repro.circuits.stdlib.logic import (
+    all_bits,
+    any_bit,
+    bitwise_and,
+    bitwise_not,
+    bitwise_xor,
+    equals,
+    is_zero,
+    mux,
+    mux_bit,
+    parity,
+    popcount,
+    rotate_left_const,
+    shift_left_const,
+    shift_right_const,
+)
+
+
+def _run(build_fn, garbler_bits, width_g, width_e=0, evaluator_bits=()):
+    builder = CircuitBuilder()
+    xs = builder.add_garbler_inputs(width_g)
+    ys = builder.add_evaluator_inputs(width_e) if width_e else []
+    builder.mark_outputs(build_fn(builder, xs, ys))
+    circuit = builder.build()
+    return circuit.eval_plain(list(garbler_bits), list(evaluator_bits))
+
+
+class TestMux:
+    @pytest.mark.parametrize("sel", [0, 1])
+    def test_mux_bit(self, sel):
+        builder = CircuitBuilder()
+        s, f, t = builder.add_garbler_inputs(3)
+        builder.mark_outputs([mux_bit(builder, s, f, t)])
+        circuit = builder.build()
+        for f_v in (0, 1):
+            for t_v in (0, 1):
+                assert circuit.eval_plain([sel, f_v, t_v], []) == [t_v if sel else f_v]
+
+    def test_vector_mux(self):
+        builder = CircuitBuilder()
+        sel = builder.add_garbler_inputs(1)[0]
+        a = builder.add_garbler_inputs(4)
+        b = builder.add_garbler_inputs(4)
+        builder.mark_outputs(mux(builder, sel, a, b))
+        circuit = builder.build()
+        assert circuit.eval_plain([0] + [1, 0, 1, 0] + [0, 1, 1, 1], []) == [1, 0, 1, 0]
+        assert circuit.eval_plain([1] + [1, 0, 1, 0] + [0, 1, 1, 1], []) == [0, 1, 1, 1]
+
+    def test_mux_width_mismatch(self):
+        builder = CircuitBuilder()
+        wires = builder.add_garbler_inputs(4)
+        with pytest.raises(ValueError):
+            mux(builder, wires[0], wires[1:3], wires[1:4])
+
+
+class TestReductions:
+    @settings(max_examples=30, deadline=None)
+    @given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=12))
+    def test_any_all_parity(self, bits):
+        def build(builder, xs, _):
+            return [any_bit(builder, xs), all_bits(builder, xs), parity(builder, xs)]
+
+        got = _run(build, bits, len(bits))
+        assert got == [int(any(bits)), int(all(bits)), sum(bits) % 2]
+
+    def test_empty_rejected(self):
+        builder = CircuitBuilder()
+        builder.add_garbler_inputs(1)
+        for fn in (any_bit, all_bits, parity):
+            with pytest.raises(ValueError):
+                fn(builder, [])
+
+
+class TestEqualsZero:
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_equals(self, a, b):
+        def build(builder, xs, ys):
+            return [equals(builder, xs, ys)]
+
+        got = _run(build, encode_int(a, 8), 8, 8, encode_int(b, 8))
+        assert got == [int(a == b)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(0, 255))
+    def test_is_zero(self, a):
+        def build(builder, xs, _):
+            return [is_zero(builder, xs)]
+
+        assert _run(build, encode_int(a, 8), 8) == [int(a == 0)]
+
+
+class TestPopcount:
+    @settings(max_examples=30, deadline=None)
+    @given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=40))
+    def test_counts(self, bits):
+        def build(builder, xs, _):
+            return popcount(builder, xs)
+
+        got = decode_int(_run(build, bits, len(bits)))
+        assert got == sum(bits)
+
+    def test_single_bit(self):
+        def build(builder, xs, _):
+            return popcount(builder, xs)
+
+        assert decode_int(_run(build, [1], 1)) == 1
+
+
+class TestShifts:
+    @settings(max_examples=25, deadline=None)
+    @given(value=st.integers(0, 255), amount=st.integers(0, 10))
+    def test_shift_left(self, value, amount):
+        def build(builder, xs, _):
+            return shift_left_const(builder, xs, amount)
+
+        got = decode_int(_run(build, encode_int(value, 8), 8))
+        assert got == (value << amount) & 0xFF
+
+    @settings(max_examples=25, deadline=None)
+    @given(value=st.integers(0, 255), amount=st.integers(0, 10))
+    def test_shift_right_logical(self, value, amount):
+        def build(builder, xs, _):
+            return shift_right_const(builder, xs, amount)
+
+        got = decode_int(_run(build, encode_int(value, 8), 8))
+        assert got == value >> amount
+
+    @settings(max_examples=25, deadline=None)
+    @given(value=st.integers(0, 255), amount=st.integers(0, 10))
+    def test_shift_right_arithmetic(self, value, amount):
+        def build(builder, xs, _):
+            return shift_right_const(builder, xs, amount, arithmetic=True)
+
+        got = decode_int(_run(build, encode_int(value, 8), 8))
+        signed = value - 256 if value & 0x80 else value
+        assert got == (signed >> amount) & 0xFF
+
+    @settings(max_examples=25, deadline=None)
+    @given(value=st.integers(0, 255), amount=st.integers(0, 16))
+    def test_rotate_left(self, value, amount):
+        def build(builder, xs, _):
+            return rotate_left_const(builder, xs, amount)
+
+        got = decode_int(_run(build, encode_int(value, 8), 8))
+        k = amount % 8
+        expected = ((value << k) | (value >> (8 - k))) & 0xFF if k else value
+        assert got == expected
+
+    def test_negative_shift_rejected(self):
+        builder = CircuitBuilder()
+        xs = builder.add_garbler_inputs(4)
+        with pytest.raises(ValueError):
+            shift_left_const(builder, xs, -1)
+
+
+class TestBitwise:
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_and_xor_not(self, a, b):
+        def build(builder, xs, ys):
+            return (
+                bitwise_and(builder, xs, ys)
+                + bitwise_xor(builder, xs, ys)
+                + bitwise_not(builder, xs)
+            )
+
+        got = _run(build, encode_int(a, 8), 8, 8, encode_int(b, 8))
+        assert decode_int(got[0:8]) == a & b
+        assert decode_int(got[8:16]) == a ^ b
+        assert decode_int(got[16:24]) == a ^ 0xFF

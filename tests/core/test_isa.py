@@ -1,0 +1,107 @@
+"""ISA encoding/decoding (paper section 3.1.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.isa import (
+    OOR_SENTINEL,
+    HaacOp,
+    Instruction,
+    InstructionEncoding,
+    decode_instruction,
+    decode_program_bytes,
+    encode_instruction,
+    encode_program_bytes,
+)
+
+
+class TestInstruction:
+    def test_oor_operand_count(self):
+        assert Instruction(HaacOp.AND, 0, 5).oor_operands == 1
+        assert Instruction(HaacOp.AND, 0, 0).oor_operands == 2
+        assert Instruction(HaacOp.XOR, 3, 5).oor_operands == 0
+        assert Instruction(HaacOp.NOP, 0, 0).oor_operands == 0
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(HaacOp.AND, -1, 0)
+
+    def test_sentinel_value(self):
+        assert OOR_SENTINEL == 0
+
+
+class TestEncoding:
+    def test_paper_widths(self):
+        """2 MB SWW = 131072 wires -> 17-bit addresses, 37-bit instrs."""
+        encoding = InstructionEncoding.for_sww_wires(131072)
+        assert encoding.addr_bits == 17
+        assert encoding.bits == 37
+        assert encoding.bytes_packed == 5
+
+    def test_small_window(self):
+        encoding = InstructionEncoding.for_sww_wires(64)
+        assert encoding.addr_bits == 6
+        assert encoding.bits == 15
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            InstructionEncoding.for_sww_wires(1)
+
+    def test_address_overflow_rejected(self):
+        encoding = InstructionEncoding(addr_bits=4)
+        with pytest.raises(ValueError):
+            encode_instruction(Instruction(HaacOp.AND, 16, 0), encoding)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        op=st.sampled_from([HaacOp.NOP, HaacOp.XOR, HaacOp.AND]),
+        wa=st.integers(0, 2**17 - 1),
+        wb=st.integers(0, 2**17 - 1),
+        live=st.booleans(),
+    )
+    def test_roundtrip(self, op, wa, wb, live):
+        encoding = InstructionEncoding(addr_bits=17)
+        instr = Instruction(op, wa, wb, live)
+        word = encode_instruction(instr, encoding)
+        assert 0 <= word < (1 << encoding.bits)
+        decoded = decode_instruction(word, encoding)
+        assert decoded.op is op
+        assert decoded.wa == wa
+        assert decoded.wb == wb
+        assert decoded.live == live
+
+
+class TestProgramBytes:
+    def test_roundtrip(self):
+        encoding = InstructionEncoding(addr_bits=10)
+        program = [
+            Instruction(HaacOp.AND, 1, 2, True),
+            Instruction(HaacOp.XOR, 3, 4, False),
+            Instruction(HaacOp.AND, 0, 7, True),
+            Instruction(HaacOp.NOP, 0, 0, False),
+        ]
+        data = encode_program_bytes(program, encoding)
+        decoded = decode_program_bytes(data, len(program), encoding)
+        for original, restored in zip(program, decoded):
+            assert restored.op is original.op
+            assert restored.wa == original.wa
+            assert restored.wb == original.wb
+            assert restored.live == original.live
+
+    def test_density(self):
+        """Dense packing must beat byte alignment."""
+        encoding = InstructionEncoding(addr_bits=17)  # 37 bits
+        program = [Instruction(HaacOp.XOR, 1, 2)] * 64
+        data = encode_program_bytes(program, encoding)
+        assert len(data) == (64 * 37 + 7) // 8  # 296 bytes < 64*8
+
+    def test_empty_program(self):
+        encoding = InstructionEncoding(addr_bits=8)
+        assert encode_program_bytes([], encoding) == b""
+        assert decode_program_bytes(b"", 0, encoding) == []
+
+    def test_short_data_rejected(self):
+        encoding = InstructionEncoding(addr_bits=8)
+        with pytest.raises(ValueError):
+            decode_program_bytes(b"\x00", 5, encoding)

@@ -1,0 +1,94 @@
+"""Classic garbling schemes (Yao 4-row, point-and-permute, GRR3)."""
+
+import random
+
+import pytest
+
+from repro.circuits.netlist import Circuit, Gate, GateOp
+from repro.gc.classic import (
+    ClassicScheme,
+    evaluate_classic,
+    garble_classic,
+    table_bytes_per_gate,
+)
+from repro.gc.garble import garble_circuit
+from tests.conftest import random_circuit
+
+
+def _roundtrip(circuit, scheme, garbler_bits, evaluator_bits, seed=0):
+    garbling = garble_classic(circuit, scheme, seed=seed)
+    labels = [
+        garbling.input_label(w, bit)
+        for w, bit in enumerate(list(garbler_bits) + list(evaluator_bits))
+    ]
+    return evaluate_classic(circuit, garbling, labels)
+
+
+@pytest.mark.parametrize("scheme", list(ClassicScheme))
+class TestCorrectness:
+    def test_tiny_truth_table(self, tiny_circuit, scheme):
+        for a in (0, 1):
+            for b in (0, 1):
+                got = _roundtrip(tiny_circuit, scheme, [a], [b])
+                assert got == tiny_circuit.eval_plain([a], [b])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_circuits(self, scheme, seed):
+        rng = random.Random(seed)
+        circuit = random_circuit(rng, n_inputs=6, n_gates=50, inv_fraction=0.2)
+        g = [rng.randint(0, 1) for _ in range(circuit.n_garbler_inputs)]
+        e = [rng.randint(0, 1) for _ in range(circuit.n_evaluator_inputs)]
+        assert _roundtrip(circuit, scheme, g, e, seed) == circuit.eval_plain(g, e)
+
+    def test_xor_gates_cost_tables(self, scheme):
+        circuit = Circuit.from_gates(
+            1, 1, [Gate(GateOp.XOR, 0, 1, 2)], [2], "xor"
+        )
+        garbling = garble_classic(circuit, scheme)
+        assert len(garbling.tables) == 1  # XOR is NOT free here
+
+    def test_deterministic(self, mixed_circuit, scheme):
+        g1 = garble_classic(mixed_circuit, scheme, seed=4)
+        g2 = garble_classic(mixed_circuit, scheme, seed=4)
+        assert g1.tables == g2.tables
+
+
+class TestSchemeProgression:
+    """Each historical optimisation strictly shrinks the tables."""
+
+    def test_bytes_per_gate_ordering(self):
+        assert (
+            table_bytes_per_gate(ClassicScheme.YAO4)
+            > table_bytes_per_gate(ClassicScheme.PNP4)
+            > table_bytes_per_gate(ClassicScheme.GRR3)
+            > 32  # Half-Gate
+        )
+
+    def test_grr3_ships_three_rows(self, mixed_circuit):
+        garbling = garble_classic(mixed_circuit, ClassicScheme.GRR3)
+        assert all(len(rows) == 3 for rows in garbling.tables)
+
+    def test_pnp4_ships_four_rows(self, mixed_circuit):
+        garbling = garble_classic(mixed_circuit, ClassicScheme.PNP4)
+        assert all(len(rows) == 4 for rows in garbling.tables)
+
+    def test_total_bytes_vs_halfgate(self, mixed_circuit):
+        """Half-Gates + FreeXOR beat every classic scheme on total bytes
+        (only ANDs cost tables, and those tables are 32 B)."""
+        halfgate = garble_circuit(mixed_circuit, seed=0)
+        halfgate_bytes = halfgate.garbled.table_bytes()
+        for scheme in ClassicScheme:
+            classic = garble_classic(mixed_circuit, scheme, seed=0)
+            assert classic.total_table_bytes() > halfgate_bytes
+
+
+class TestErrors:
+    def test_wrong_label_count(self, tiny_circuit):
+        garbling = garble_classic(tiny_circuit, ClassicScheme.PNP4)
+        with pytest.raises(ValueError):
+            evaluate_classic(tiny_circuit, garbling, [1])
+
+    def test_yao4_garbage_labels_detected(self, tiny_circuit):
+        garbling = garble_classic(tiny_circuit, ClassicScheme.YAO4)
+        with pytest.raises(ValueError):
+            evaluate_classic(tiny_circuit, garbling, [12345, 67890])

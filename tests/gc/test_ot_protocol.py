@@ -1,0 +1,120 @@
+"""Oblivious transfer and the end-to-end two-party protocol."""
+
+import random
+
+import pytest
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.stdlib.integer import less_than
+from repro.gc.channel import Channel, make_channel_pair
+from repro.gc.ot import OtReceiver, OtSender, run_ot, run_ot_batch
+from repro.gc.protocol import run_two_party
+from repro.gc.rng import LabelPrg
+
+
+class TestOt:
+    @pytest.mark.parametrize("choice", [0, 1])
+    def test_receiver_gets_chosen_message(self, choice):
+        m0, m1 = 0xAAAA, 0xBBBB
+        assert run_ot(m0, m1, choice, seed=7) == (m1 if choice else m0)
+
+    def test_batch(self):
+        rng = random.Random(5)
+        pairs = [(rng.getrandbits(128), rng.getrandbits(128)) for _ in range(16)]
+        choices = [rng.randint(0, 1) for _ in range(16)]
+        received = run_ot_batch(pairs, choices, seed=11)
+        for (m0, m1), c, got in zip(pairs, choices, received):
+            assert got == (m1 if c else m0)
+
+    def test_receiver_cannot_get_other_message(self):
+        """Decrypting the unchosen ciphertext yields garbage, not m_other."""
+        sender = OtSender(LabelPrg(1))
+        receiver = OtReceiver(LabelPrg(2), sender.public)
+        m0, m1 = 123, 456
+        point, secret = receiver.choose(0)
+        c0, c1 = sender.encrypt(0, point, m0, m1)
+        assert receiver.decrypt(0, 0, secret, c0, c1) == m0
+        # Using the same secret against the other slot must not reveal m1.
+        pad = receiver.decrypt(0, 1, secret, c0, c1)
+        assert pad != m1
+
+    def test_invalid_point_rejected(self):
+        sender = OtSender(LabelPrg(1))
+        with pytest.raises(ValueError):
+            sender.encrypt(0, 0, 1, 2)
+
+    def test_invalid_choice_rejected(self):
+        sender = OtSender(LabelPrg(1))
+        receiver = OtReceiver(LabelPrg(2), sender.public)
+        with pytest.raises(ValueError):
+            receiver.choose(2)
+
+
+class TestChannel:
+    def test_fifo_and_accounting(self):
+        channel = Channel("test")
+        channel.send("tables", [1, 2], 64)
+        channel.send("labels", [3], 16)
+        assert channel.total_bytes == 80
+        assert channel.recv("tables") == [1, 2]
+        assert channel.recv("labels") == [3]
+
+    def test_kind_mismatch(self):
+        channel = Channel("test")
+        channel.send("tables", [], 0)
+        with pytest.raises(RuntimeError):
+            channel.recv("labels")
+
+    def test_empty_recv(self):
+        with pytest.raises(RuntimeError):
+            Channel("test").recv("anything")
+
+    def test_pair_report(self):
+        pair = make_channel_pair()
+        pair.to_evaluator.send("tables", [], 320)
+        pair.to_garbler.send("outputs", [], 4)
+        report = pair.traffic_report()
+        assert report["garbler->evaluator:tables"] == 320
+        assert report["evaluator->garbler:outputs"] == 4
+        assert pair.total_bytes == 324
+
+
+class TestTwoPartySession:
+    def _millionaires(self, width=8):
+        builder = CircuitBuilder()
+        alice = builder.add_garbler_inputs(width)
+        bob = builder.add_evaluator_inputs(width)
+        builder.mark_outputs([less_than(builder, bob, alice)])
+        return builder.build("millionaires")
+
+    def test_millionaires_problem(self):
+        circuit = self._millionaires()
+        for alice_wealth, bob_wealth in [(5, 3), (3, 5), (7, 7), (255, 0)]:
+            a_bits = [(alice_wealth >> i) & 1 for i in range(8)]
+            b_bits = [(bob_wealth >> i) & 1 for i in range(8)]
+            result = run_two_party(circuit, a_bits, b_bits, seed=3)
+            assert result.output_bits == [int(bob_wealth < alice_wealth)]
+
+    def test_matches_plain_eval(self, mixed_circuit, rng):
+        garbler_bits = [rng.randint(0, 1) for _ in range(mixed_circuit.n_garbler_inputs)]
+        evaluator_bits = [
+            rng.randint(0, 1) for _ in range(mixed_circuit.n_evaluator_inputs)
+        ]
+        result = run_two_party(mixed_circuit, garbler_bits, evaluator_bits, seed=4)
+        assert result.output_bits == mixed_circuit.eval_plain(
+            garbler_bits, evaluator_bits
+        )
+
+    def test_traffic_includes_tables(self, mixed_circuit):
+        result = run_two_party(
+            mixed_circuit,
+            [0] * mixed_circuit.n_garbler_inputs,
+            [0] * mixed_circuit.n_evaluator_inputs,
+            seed=4,
+        )
+        assert result.traffic["garbler->evaluator:tables"] == 32 * result.and_gates
+        assert result.total_bytes > 32 * result.and_gates
+
+    def test_wrong_input_count(self, tiny_circuit):
+        with pytest.raises(ValueError):
+            run_two_party(tiny_circuit, [0, 1], [0], seed=0)

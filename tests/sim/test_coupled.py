@@ -1,0 +1,83 @@
+"""Coupled / pull-based memory models (decoupling ablation)."""
+
+import pytest
+
+from repro.core.compiler import OptLevel, compile_circuit
+from repro.sim.config import HaacConfig
+from repro.sim.coupled import (
+    DRAM_LATENCY_CYCLES,
+    coupled_runtime,
+    pull_based_runtime,
+)
+from repro.sim.timing import simulate
+
+
+@pytest.fixture
+def compiled_and_config(mixed_circuit):
+    config = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+    result = compile_circuit(
+        mixed_circuit, config.window, config.n_ges,
+        opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+    )
+    return result, config
+
+
+class TestCoupled:
+    def test_generous_queues_match_decoupled(self, compiled_and_config):
+        result, config = compiled_and_config
+        coupled = coupled_runtime(
+            result.streams, config, queue_bytes_per_ge=1 << 30
+        )
+        assert coupled.slowdown_vs_decoupled == pytest.approx(1.0, abs=1e-9)
+
+    def test_never_faster_than_decoupled(self, compiled_and_config):
+        result, config = compiled_and_config
+        for queue_bytes in (64, 1024, 1 << 20):
+            coupled = coupled_runtime(result.streams, config, queue_bytes)
+            assert coupled.slowdown_vs_decoupled >= 1.0 - 1e-9
+
+    def test_smaller_queues_never_faster(self, compiled_and_config):
+        result, config = compiled_and_config
+        small = coupled_runtime(result.streams, config, 64)
+        large = coupled_runtime(result.streams, config, 64 * 1024)
+        assert small.cycles >= large.cycles - 1e-9
+
+    def test_stall_cycles_nonnegative(self, compiled_and_config):
+        result, config = compiled_and_config
+        coupled = coupled_runtime(result.streams, config, 256)
+        assert coupled.stall_cycles >= 0
+
+    def test_runtime_seconds(self, compiled_and_config):
+        result, config = compiled_and_config
+        coupled = coupled_runtime(result.streams, config)
+        assert coupled.runtime_s == pytest.approx(
+            coupled.cycles / config.ge_clock_hz
+        )
+
+
+class TestPullBased:
+    def test_never_faster_than_decoupled(self, compiled_and_config):
+        result, config = compiled_and_config
+        pull = pull_based_runtime(result.streams, config)
+        assert pull.slowdown_vs_decoupled >= 1.0 - 1e-9
+
+    def test_latency_scales_penalty(self, compiled_and_config):
+        result, config = compiled_and_config
+        if result.streams.oor_reads == 0:
+            pytest.skip("no OoR reads at this window size")
+        cheap = pull_based_runtime(result.streams, config, miss_latency=10)
+        expensive = pull_based_runtime(result.streams, config, miss_latency=200)
+        assert expensive.cycles > cheap.cycles
+
+    def test_no_oor_means_no_penalty(self, mixed_circuit):
+        config = HaacConfig(n_ges=4, sww_bytes=1 << 22)  # everything fits
+        result = compile_circuit(
+            mixed_circuit, config.window, config.n_ges,
+            opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+        )
+        pull = pull_based_runtime(result.streams, config)
+        decoupled = simulate(result.streams, config)
+        assert pull.cycles == pytest.approx(decoupled.runtime_cycles)
+
+    def test_default_latency_sane(self):
+        assert 20 <= DRAM_LATENCY_CYCLES <= 200

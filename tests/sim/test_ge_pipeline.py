@@ -1,0 +1,51 @@
+"""GE pipeline structural model (paper's 18/21-stage depths)."""
+
+import pytest
+
+from repro.sim.ge import (
+    PAPER_EVALUATOR_STAGES,
+    PAPER_GARBLER_STAGES,
+    GePipelineModel,
+)
+
+
+class TestPaperDepths:
+    def test_defaults_reproduce_paper(self):
+        model = GePipelineModel()
+        assert model.evaluator_stages == PAPER_EVALUATOR_STAGES == 18
+        assert model.garbler_stages == PAPER_GARBLER_STAGES == 21
+        assert model.matches_paper()
+
+    def test_freexor_single_stage(self):
+        assert GePipelineModel().freexor_stages == 1
+
+    def test_garbler_deeper_than_evaluator(self):
+        model = GePipelineModel()
+        assert model.garbler_stages > model.evaluator_stages
+
+
+class TestParameterisation:
+    def test_two_rounds_per_stage_shrinks_pipeline(self):
+        fast = GePipelineModel(rounds_per_stage=2)
+        assert fast.aes_stages == 5
+        assert fast.evaluator_stages < PAPER_EVALUATOR_STAGES
+        assert not fast.matches_paper()
+
+    def test_aes_stage_ceiling(self):
+        assert GePipelineModel(aes_rounds=10, rounds_per_stage=3).aes_stages == 4
+
+    def test_invalid_rounds_per_stage(self):
+        with pytest.raises(ValueError):
+            _ = GePipelineModel(rounds_per_stage=0).aes_stages
+
+    def test_stage_map_lengths_match_depths(self):
+        model = GePipelineModel()
+        stages = model.stage_map()
+        assert len(stages["evaluator"]) == model.evaluator_stages
+        assert len(stages["garbler"]) == model.garbler_stages
+        assert len(stages["freexor"]) == 1
+
+    def test_stage_map_contains_aes_rounds(self):
+        stages = GePipelineModel().stage_map()
+        aes = [s for s in stages["evaluator"] if s.startswith("aes_round")]
+        assert len(aes) == 10

@@ -1,0 +1,68 @@
+"""Multi-core HAAC extension (the paper's future-work direction)."""
+
+import pytest
+
+from repro.sim.config import HaacConfig
+from repro.sim.dram import HBM2
+from repro.sim.multicore import (
+    partition_components,
+    simulate_multicore,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture
+def config():
+    return HaacConfig(n_ges=4, sww_bytes=16 * 1024, dram=HBM2)
+
+
+class TestPartition:
+    def test_relu_decomposes_per_activation(self):
+        built = get_workload("ReLU").build(k=8, width=8)
+        components = partition_components(built.circuit)
+        # Each ReLU is independent (plus shared-nothing structure).
+        assert len(components) >= 8
+
+    def test_entangled_circuit_is_one_component(self, mixed_circuit):
+        # add/mul/compare over the same inputs all interconnect.
+        components = partition_components(mixed_circuit)
+        assert len(components) == 1
+
+    def test_components_cover_all_gates(self):
+        built = get_workload("ReLU").build(k=4, width=8)
+        components = partition_components(built.circuit)
+        covered = sorted(p for component in components for p in component)
+        assert covered == list(range(len(built.circuit.gates)))
+
+
+class TestMulticore:
+    def test_batch_workload_gains(self, config):
+        """Independent ReLUs spread across cores: compute shrinks."""
+        built = get_workload("ReLU").build(k=64, width=16)
+        one = simulate_multicore(built.circuit, config, n_cores=1)
+        four = simulate_multicore(built.circuit, config, n_cores=4)
+        assert max(four.core_compute_cycles) <= max(one.core_compute_cycles)
+        assert four.shards == 4
+
+    def test_serial_workload_does_not_gain(self, config):
+        """GradDesc is one component: extra cores sit idle."""
+        built = get_workload("GradDesc").build(n_points=2, rounds=1)
+        result = simulate_multicore(built.circuit, config, n_cores=4)
+        assert result.shards == 1  # nothing to shard
+
+    def test_speedup_reported(self, config):
+        built = get_workload("ReLU").build(k=32, width=16)
+        result = simulate_multicore(built.circuit, config, n_cores=2)
+        assert result.speedup_vs_single_core > 0
+        assert result.runtime_s > 0
+
+    def test_traffic_serialises_across_cores(self, config):
+        """Shared DRAM: total traffic is the sum over shards."""
+        built = get_workload("ReLU").build(k=32, width=16)
+        two = simulate_multicore(built.circuit, config, n_cores=2)
+        assert two.total_traffic_cycles > 0
+        assert two.runtime_cycles >= two.total_traffic_cycles
+
+    def test_invalid_core_count(self, config, mixed_circuit):
+        with pytest.raises(ValueError):
+            simulate_multicore(mixed_circuit, config, n_cores=0)

@@ -1,0 +1,76 @@
+"""Property test: the whole toolchain on random circuits and configs.
+
+For any random circuit, any optimization level, any (small) GE count and
+SWW size: compile -> generate streams -> execute on the functional HAAC
+machine with real cryptography -> decode == plaintext evaluation.
+This is the single highest-leverage invariant in the reproduction.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import OptLevel, compile_circuit
+from repro.sim.config import HaacConfig
+from repro.sim.functional import run_functional
+from repro.sim.timing import simulate
+from tests.conftest import random_circuit
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_gates=st.integers(20, 120),
+    n_ges=st.sampled_from([1, 2, 4]),
+    sww_wires=st.sampled_from([16, 64, 256]),
+    opt=st.sampled_from(list(OptLevel)),
+)
+def test_compile_execute_decode_matches_plaintext(
+    seed, n_gates, n_ges, sww_wires, opt
+):
+    rng = random.Random(seed)
+    circuit = random_circuit(
+        rng, n_inputs=8, n_gates=n_gates, and_fraction=0.4, inv_fraction=0.15
+    )
+    config = HaacConfig(n_ges=n_ges, sww_bytes=sww_wires * 16)
+    result = compile_circuit(
+        circuit, config.window, config.n_ges, opt=opt,
+        params=config.schedule_params(),
+    )
+    garbler_bits = [rng.randint(0, 1) for _ in range(circuit.n_garbler_inputs)]
+    evaluator_bits = [rng.randint(0, 1) for _ in range(circuit.n_evaluator_inputs)]
+    g2, e2 = result.lowered.adapt_inputs(garbler_bits, evaluator_bits)
+
+    run = run_functional(result.streams, g2, e2, seed=seed)
+    assert run.output_bits == circuit.eval_plain(garbler_bits, evaluator_bits)
+
+    # The timing model must accept the same streams and agree on counts.
+    sim = simulate(result.streams, config)
+    assert sim.n_instructions == len(result.program.instructions)
+    assert run.oor_pops == result.streams.oor_reads
+    assert run.dram_wire_writes == result.program.n_live
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    sww_wires=st.sampled_from([16, 64]),
+)
+def test_esw_never_changes_results(seed, sww_wires):
+    """ESW only removes write-backs; outputs must be identical."""
+    rng = random.Random(seed)
+    circuit = random_circuit(rng, n_inputs=6, n_gates=80, inv_fraction=0.1)
+    config = HaacConfig(n_ges=2, sww_bytes=sww_wires * 16)
+    garbler_bits = [rng.randint(0, 1) for _ in range(circuit.n_garbler_inputs)]
+    evaluator_bits = [rng.randint(0, 1) for _ in range(circuit.n_evaluator_inputs)]
+
+    outputs = {}
+    for opt in (OptLevel.RO_RN, OptLevel.RO_RN_ESW):
+        result = compile_circuit(
+            circuit, config.window, config.n_ges, opt=opt,
+            params=config.schedule_params(),
+        )
+        g2, e2 = result.lowered.adapt_inputs(garbler_bits, evaluator_bits)
+        outputs[opt] = run_functional(result.streams, g2, e2, seed=seed).output_bits
+    assert outputs[OptLevel.RO_RN] == outputs[OptLevel.RO_RN_ESW]

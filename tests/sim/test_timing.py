@@ -1,0 +1,127 @@
+"""Timing simulator invariants and the decoupled traffic model."""
+
+import pytest
+
+from repro.core.compiler import OptLevel, compile_circuit
+from repro.sim.config import HaacConfig, Role
+from repro.sim.dram import DDR4, HBM2
+from repro.sim.timing import compute_traffic, simulate
+
+
+def _run(circuit, config, opt=OptLevel.RO_RN_ESW):
+    result = compile_circuit(
+        circuit, config.window, config.n_ges, opt=opt,
+        params=config.schedule_params(),
+    )
+    return result, simulate(result.streams, config)
+
+
+class TestTrafficModel:
+    def test_byte_accounting(self, mixed_circuit):
+        config = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+        result, sim = _run(mixed_circuit, config)
+        ledger = sim.ledger
+        program = result.program
+        assert ledger.bytes_by_stream["input_rd"] == program.n_inputs * 16
+        assert (
+            ledger.bytes_by_stream["instr_rd"]
+            == len(program.instructions) * config.instr_bytes
+        )
+        assert ledger.bytes_by_stream["table_rd"] == program.n_and * 32
+        assert ledger.bytes_by_stream["oorw_rd"] == result.streams.oor_reads * 20
+        assert ledger.bytes_by_stream["live_wr"] == program.n_live * 16
+        assert ledger.total_bytes == sum(ledger.bytes_by_stream.values())
+
+    def test_read_write_split(self, mixed_circuit):
+        config = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+        _, sim = _run(mixed_circuit, config)
+        ledger = sim.ledger
+        assert ledger.read_bytes + ledger.write_bytes == ledger.total_bytes
+
+    def test_hbm_reduces_traffic_time(self, mixed_circuit):
+        ddr = HaacConfig(n_ges=4, sww_bytes=64 * 16, dram=DDR4)
+        hbm = HaacConfig(n_ges=4, sww_bytes=64 * 16, dram=HBM2)
+        _, sim_ddr = _run(mixed_circuit, ddr)
+        _, sim_hbm = _run(mixed_circuit, hbm)
+        ratio = sim_ddr.traffic_cycles / sim_hbm.traffic_cycles
+        assert ratio == pytest.approx(HBM2.bandwidth_gb_s / DDR4.bandwidth_gb_s)
+
+    def test_runtime_is_max_of_components(self, mixed_circuit):
+        config = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+        _, sim = _run(mixed_circuit, config)
+        assert sim.runtime_cycles == max(
+            float(sim.compute_cycles), sim.traffic_cycles
+        )
+        assert sim.memory_bound == (sim.traffic_cycles > sim.compute_cycles)
+
+
+class TestComputeScaling:
+    def test_more_ges_never_slower(self, mixed_circuit):
+        cycles = []
+        for n_ges in (1, 2, 4, 8):
+            config = HaacConfig(n_ges=n_ges, sww_bytes=64 * 16)
+            _, sim = _run(mixed_circuit, config)
+            cycles.append(sim.compute_cycles)
+        assert all(b <= a for a, b in zip(cycles, cycles[1:]))
+
+    def test_single_ge_issue_bound(self, mixed_circuit):
+        """One GE issues at most one instruction per cycle."""
+        config = HaacConfig(n_ges=1, sww_bytes=64 * 16)
+        _, sim = _run(mixed_circuit, config)
+        assert sim.compute_cycles >= sim.n_instructions
+
+    def test_garbler_pipeline_deeper(self, mixed_circuit):
+        ev = HaacConfig(n_ges=2, sww_bytes=64 * 16, role=Role.EVALUATOR)
+        gb = HaacConfig(n_ges=2, sww_bytes=64 * 16, role=Role.GARBLER)
+        _, sim_ev = _run(mixed_circuit, ev)
+        _, sim_gb = _run(mixed_circuit, gb)
+        assert sim_gb.compute_cycles >= sim_ev.compute_cycles
+
+    def test_all_instructions_counted(self, mixed_circuit):
+        config = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+        _, sim = _run(mixed_circuit, config)
+        assert sum(sim.issued_per_ge.values()) == sim.n_instructions
+
+
+class TestStalls:
+    def test_baseline_stalls_more_than_reordered(self, mixed_circuit):
+        config = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+        _, sim_base = _run(mixed_circuit, config, OptLevel.BASELINE)
+        _, sim_ro = _run(mixed_circuit, config, OptLevel.RO_RN)
+        assert sim_base.stalls.dependence >= sim_ro.stalls.dependence
+
+    def test_stall_taxonomy_nonnegative(self, mixed_circuit):
+        config = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+        _, sim = _run(mixed_circuit, config)
+        breakdown = sim.stalls.as_dict()
+        assert all(v >= 0 for v in breakdown.values())
+        assert sim.stalls.total == sum(breakdown.values())
+
+    def test_bank_conflicts_only_when_modelled(self, mixed_circuit):
+        off = HaacConfig(n_ges=4, sww_bytes=64 * 16, model_bank_conflicts=False)
+        on = HaacConfig(n_ges=4, sww_bytes=64 * 16, model_bank_conflicts=True)
+        _, sim_off = _run(mixed_circuit, off)
+        _, sim_on = _run(mixed_circuit, on)
+        assert sim_off.stalls.bank_conflict == 0
+        assert sim_on.compute_cycles >= sim_off.compute_cycles
+
+    def test_fewer_banks_more_conflicts(self, mixed_circuit):
+        few = HaacConfig(
+            n_ges=4, sww_bytes=64 * 16, banks_per_ge=1, model_bank_conflicts=True
+        )
+        many = HaacConfig(
+            n_ges=4, sww_bytes=64 * 16, banks_per_ge=8, model_bank_conflicts=True
+        )
+        _, sim_few = _run(mixed_circuit, few)
+        _, sim_many = _run(mixed_circuit, many)
+        assert sim_few.stalls.bank_conflict >= sim_many.stalls.bank_conflict
+
+
+class TestSummary:
+    def test_summary_fields(self, mixed_circuit):
+        config = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+        _, sim = _run(mixed_circuit, config)
+        summary = sim.summary()
+        assert summary["runtime_us"] > 0
+        assert summary["cycles_per_gate"] > 0
+        assert sim.gates_per_second > 0

@@ -1,0 +1,59 @@
+"""The shipped examples must run clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(_EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+
+
+def test_quickstart():
+    proc = _run("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "richer party: Alice" in proc.stdout
+    assert "functional machine agrees" in proc.stdout
+    assert "speedup" in proc.stdout
+
+
+def test_bristol_interop():
+    proc = _run("bristol_interop.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "round trip semantics verified" in proc.stdout
+    assert "computed under encryption" in proc.stdout
+
+
+def test_compiler_explorer_small_workload():
+    proc = _run("compiler_explorer.py", "Merse")
+    assert proc.returncode == 0, proc.stderr
+    assert "baseline" in proc.stdout
+    assert "ro_rn_esw" in proc.stdout
+
+
+def test_compiler_explorer_rejects_unknown():
+    proc = _run("compiler_explorer.py", "NotAWorkload")
+    assert proc.returncode != 0
+
+
+@pytest.mark.slow
+def test_private_inference_relu():
+    proc = _run("private_inference_relu.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "private ReLUs verified" in proc.stdout
+
+
+@pytest.mark.slow
+def test_design_space():
+    proc = _run("design_space.py", "Merse")
+    assert proc.returncode == 0, proc.stderr
+    assert "Best perf-area product" in proc.stdout
