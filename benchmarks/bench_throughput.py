@@ -1,0 +1,43 @@
+"""Garbling throughput per label-hash backend (perf trajectory).
+
+Unlike the table/figure benches this does not reproduce a paper artifact
+-- it tracks *our* software substrate: gates-per-second for the scalar
+reference vs. the batched NumPy backend, recorded as JSON so future PRs
+can diff the trajectory.  The full AES-128 run (the paper's flagship
+garbling benchmark) is marked ``slow``; the mixed-circuit run keeps the
+fast lane honest.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gc.backends import available_backends
+from repro.gc.backends.throughput import build_bench_circuit, measure_throughput
+
+
+def _report(name: str, record_result, repeats: int = 2) -> dict:
+    circuit = build_bench_circuit(name)
+    result = measure_throughput(circuit, repeats=repeats)
+    record_result(f"throughput_{name}", json.dumps(result, indent=2))
+    return result
+
+
+def test_throughput_mixed8(record_result):
+    result = _report("mixed8", record_result)
+    assert "scalar" in result["backends"]
+    for entry in result["backends"].values():
+        assert entry["garble"]["gates_per_s"] > 0
+        assert entry["evaluate"]["gates_per_s"] > 0
+
+
+@pytest.mark.slow
+def test_throughput_aes128(record_result):
+    result = _report("aes128", record_result, repeats=1)
+    if "numpy" not in available_backends():
+        pytest.skip("NumPy backend unavailable")
+    # The acceptance bar for the batched substrate: >= 5x garbler
+    # gates/sec over the scalar reference on AES-128.
+    assert result["speedup_vs_scalar"]["numpy"]["garble"] >= 5.0

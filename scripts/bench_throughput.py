@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Garbling/evaluation throughput per label-hash backend.
+
+Measures gates-per-second for the scalar reference and the batched
+NumPy backend (when available) on a stdlib circuit, prints a summary
+and writes ``BENCH_throughput.json`` in the stable
+``repro.bench_throughput/v1`` schema so successive PRs can track the
+perf trajectory.
+
+Usage::
+
+    python scripts/bench_throughput.py                       # AES-128, full
+    python scripts/bench_throughput.py --circuit mixed8
+    python scripts/bench_throughput.py --quick --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.gc.backends.throughput import (  # noqa: E402
+    BENCH_CIRCUITS,
+    build_bench_circuit,
+    measure_throughput,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--circuit",
+        default="aes128",
+        choices=sorted(BENCH_CIRCUITS),
+        help="stdlib circuit to garble (default: aes128)",
+    )
+    parser.add_argument(
+        "--backends",
+        default="scalar,numpy",
+        help="comma-separated backend names (default: scalar,numpy)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small circuit, one repeat (smoke-test lane)",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_throughput.json",
+        help="output path for the JSON report (default: BENCH_throughput.json)",
+    )
+    args = parser.parse_args(argv)
+
+    circuit_name = "mixed8" if args.quick and args.circuit == "aes128" else args.circuit
+    repeats = 1 if args.quick else args.repeats
+    circuit = build_bench_circuit(circuit_name)
+    backends = [name.strip() for name in args.backends.split(",") if name.strip()]
+    report = measure_throughput(circuit, backends=backends, repeats=repeats)
+
+    out_path = pathlib.Path(args.json)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    info = report["circuit"]
+    print(
+        f"circuit {info['name']}: {info['gates']} gates "
+        f"({info['and_gates']} AND, {info['levels']} levels)"
+    )
+    for name, entry in report["backends"].items():
+        garble = entry["garble"]
+        evaluate = entry["evaluate"]
+        print(
+            f"  {name:>8}: garble {garble['gates_per_s']:>12,.0f} gates/s "
+            f"({garble['seconds']:.3f}s)  evaluate "
+            f"{evaluate['gates_per_s']:>12,.0f} gates/s ({evaluate['seconds']:.3f}s)"
+        )
+    for name, speedup in report["speedup_vs_scalar"].items():
+        print(
+            f"  {name} vs scalar: {speedup['garble']:.1f}x garble, "
+            f"{speedup['evaluate']:.1f}x evaluate"
+        )
+    for entry in report["skipped"]:
+        print(f"  skipped {entry['backend']}: {entry['reason']}")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 __all__ = ["GateOp", "Gate", "Circuit", "CircuitStats", "CircuitError"]
 
@@ -186,6 +186,79 @@ class Circuit:
         if not self.gates:
             return 0
         return max(self.gate_levels())
+
+    def topological_levels(self) -> List[List[int]]:
+        """Gate positions grouped by ASAP dependence level.
+
+        ``result[k]`` lists the netlist positions of all gates at level
+        ``k + 1``; gates within one level are mutually independent (every
+        input of a level-``L`` gate is produced strictly below ``L``), so
+        each group is one schedulable batch for the batched garbler/
+        evaluator -- the software analogue of issuing a whole level
+        across HAAC's parallel gate engines.  Positions within a group
+        are in netlist order.
+        """
+        levels = self.gate_levels()
+        if not levels:
+            return []
+        buckets: List[List[int]] = [[] for _ in range(max(levels))]
+        for position, level in enumerate(levels):
+            buckets[level - 1].append(position)
+        return buckets
+
+    def and_level_schedule(self) -> List[Tuple[List[int], List[List[int]]]]:
+        """Batched execution schedule keyed by *multiplicative* depth.
+
+        FreeXOR garbling only pays for AND gates, so the natural batch
+        is all AND gates at the same AND-only (multiplicative) depth --
+        a far coarser grouping than :meth:`topological_levels` (e.g. the
+        AES-128 circuit has 1182 ASAP levels but only 40 AND levels of
+        1280 gates each).  Returns one phase per depth ``d``:
+
+        ``(and_positions, free_groups)`` where ``and_positions`` are the
+        AND gates at depth ``d`` (always empty for ``d = 0``) and
+        ``free_groups`` is an ordered list of mutually independent
+        XOR/INV position groups.  Executing phases in order -- AND batch
+        first, then each free group -- respects every data dependence:
+        an AND at depth ``d`` reads only wires of depth ``< d``, and a
+        free gate is placed after every same-depth gate it reads.
+
+        The schedule is cached on the circuit (it is a pure function of
+        the netlist) so garbler, evaluator and benchmarks share one
+        computation.
+        """
+        cached = getattr(self, "_and_schedule_cache", None)
+        if cached is not None:
+            return cached
+        depth = [0] * self.n_wires
+        free_level = [0] * self.n_wires
+        phases: List[Tuple[List[int], List[List[int]]]] = [([], [])]
+        for position, gate in enumerate(self.gates):
+            d = 0
+            for wire in gate.inputs():
+                if depth[wire] > d:
+                    d = depth[wire]
+            if gate.op is GateOp.AND:
+                d += 1
+                while len(phases) <= d:
+                    phases.append(([], []))
+                phases[d][0].append(position)
+                free_level[gate.out] = 0
+            else:
+                f = 1
+                for wire in gate.inputs():
+                    if depth[wire] == d and free_level[wire] >= f:
+                        f = free_level[wire] + 1
+                while len(phases) <= d:
+                    phases.append(([], []))
+                groups = phases[d][1]
+                while len(groups) < f:
+                    groups.append([])
+                groups[f - 1].append(position)
+                free_level[gate.out] = f
+            depth[gate.out] = d
+        self._and_schedule_cache = phases
+        return phases
 
     def stats(self) -> CircuitStats:
         and_gates = sum(1 for g in self.gates if g.op is GateOp.AND)

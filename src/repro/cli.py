@@ -84,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_p.add_argument("--alice", type=int, default=4_200_000)
     p_p.add_argument("--bob", type=int, default=3_700_000)
     p_p.add_argument("--width", type=int, default=32)
+    p_p.add_argument(
+        "--backend",
+        default=None,
+        help="gc label-hash backend (scalar, numpy, auto); default: "
+        "per-gate reference path",
+    )
 
     p_f = sub.add_parser(
         "figures", help="ASCII renderings of the evaluation figures"
@@ -210,6 +216,7 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
         encode_int(args.alice, args.width),
         encode_int(args.bob, args.width),
         seed=2023,
+        backend=getattr(args, "backend", None),
     )
     richer = "Alice" if result.output_bits[0] else "Bob (or tie)"
     print(f"richer: {richer}")

@@ -6,8 +6,20 @@ and evaluation, oblivious transfer, and the two-party protocol.
 """
 
 from .aes import decrypt_block, encrypt_block, expand_key
-from .evaluate import EvaluationResult, evaluate_circuit
-from .garble import GarbledCircuit, Garbler, garble_circuit
+from .backends import (
+    BackendUnavailable,
+    LabelHashBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from .evaluate import (
+    EvaluationResult,
+    evaluate_batched,
+    evaluate_circuit,
+    evaluate_circuit_batched,
+)
+from .garble import GarbledCircuit, Garbler, garble_circuit, garble_circuit_batched
 from .halfgate import GarbledTable, eval_and, eval_xor, garble_and, garble_xor
 from .hashing import GateHasher, fixed_key_hash, rekeyed_hash
 from .labels import LabelPair, lsb
@@ -42,8 +54,16 @@ __all__ = [
     "Garbler",
     "GarbledCircuit",
     "garble_circuit",
+    "garble_circuit_batched",
     "EvaluationResult",
     "evaluate_circuit",
+    "evaluate_circuit_batched",
+    "evaluate_batched",
+    "BackendUnavailable",
+    "LabelHashBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
     "run_ot",
     "run_ot_batch",
     "TwoPartySession",

@@ -1,0 +1,35 @@
+"""Scalar reference backend: the audited per-label T-table AES path.
+
+This is the same code path the original per-gate garbler uses
+(:mod:`repro.gc.hashing` on top of :mod:`repro.gc.aes`), wrapped in the
+batch API.  It exists so the batched garbler runs everywhere -- and so
+the vectorized backends have a ground truth to be bitwise-checked
+against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..hashing import fixed_key_hash, rekeyed_hash
+from .base import LabelHashBackend
+
+__all__ = ["ScalarLabelHashBackend"]
+
+
+class ScalarLabelHashBackend(LabelHashBackend):
+    """Loop over the scalar re-keyed / fixed-key hash."""
+
+    name = "scalar"
+    vectorized = False
+
+    def hash_labels(
+        self,
+        labels: Sequence[int],
+        tweaks: Sequence[int],
+        rekeyed: bool = True,
+    ) -> List[int]:
+        if len(labels) != len(tweaks):
+            raise ValueError("labels and tweaks must align")
+        hash_fn = rekeyed_hash if rekeyed else fixed_key_hash
+        return [hash_fn(label, tweak) for label, tweak in zip(labels, tweaks)]

@@ -1,0 +1,162 @@
+"""Garbling-throughput measurement shared by scripts/ and benchmarks/.
+
+Times whole-circuit garbling and evaluation per backend and reports
+gates-per-second, the metric HAAC's evaluation revolves around.  The
+``scalar`` entry times the audited per-gate reference walk
+(:func:`repro.gc.garble.garble_circuit`); every other backend times the
+level-batched engine.  The emitted dict follows a stable schema
+(``repro.bench_throughput/v1``) so successive PRs can diff perf
+trajectories mechanically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ...circuits.builder import CircuitBuilder
+from ...circuits.netlist import Circuit
+from ...circuits.stdlib.aes_circuit import build_aes128_circuit
+from ...circuits.stdlib.integer import add, less_than, mul
+from ..evaluate import evaluate_circuit, evaluate_circuit_batched
+from ..garble import garble_circuit, garble_circuit_batched
+from .base import BackendUnavailable, get_backend
+
+__all__ = ["SCHEMA", "BENCH_CIRCUITS", "build_bench_circuit", "measure_throughput"]
+
+SCHEMA = "repro.bench_throughput/v1"
+
+
+def _adder(width: int) -> Circuit:
+    builder = CircuitBuilder()
+    xs = builder.add_garbler_inputs(width)
+    ys = builder.add_evaluator_inputs(width)
+    builder.mark_outputs(add(builder, xs, ys))
+    return builder.build(f"adder{width}")
+
+
+def _mixed8() -> Circuit:
+    builder = CircuitBuilder()
+    xs = builder.add_garbler_inputs(8)
+    ys = builder.add_evaluator_inputs(8)
+    builder.mark_outputs(add(builder, xs, ys))
+    builder.mark_outputs(mul(builder, xs, ys))
+    builder.mark_outputs([less_than(builder, xs, ys)])
+    return builder.build("mixed8")
+
+
+BENCH_CIRCUITS = {
+    "aes128": build_aes128_circuit,
+    "adder8": lambda: _adder(8),
+    "adder32": lambda: _adder(32),
+    "mixed8": _mixed8,
+}
+
+
+def build_bench_circuit(name: str) -> Circuit:
+    """Build one of the named benchmark circuits."""
+    try:
+        factory = BENCH_CIRCUITS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench circuit {name!r}; choose from {sorted(BENCH_CIRCUITS)}"
+        ) from None
+    return factory()
+
+
+def _time_best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure_throughput(
+    circuit: Circuit,
+    backends: Optional[Sequence[str]] = None,
+    repeats: int = 2,
+    seed: int = 0,
+    rekeyed: bool = True,
+) -> Dict:
+    """Measure garble/evaluate gates-per-second for each backend.
+
+    Unavailable backends are reported under ``skipped`` rather than
+    failing, so the same invocation works on NumPy-less machines.
+    Timings are best-of-``repeats`` (the first batched run also pays the
+    one-time schedule-plan build, which is cached on the circuit).
+    """
+    if backends is None:
+        backends = ["scalar", "numpy"]
+    stats = circuit.stats()
+    n_gates = stats.gates
+    n_and = stats.and_gates
+
+    results: Dict[str, Dict] = {}
+    skipped: List[Dict[str, str]] = []
+    reference = garble_circuit(circuit, seed=seed, rekeyed=rekeyed)
+    input_labels = [
+        reference.input_label(wire, 0) for wire in range(circuit.n_inputs)
+    ]
+    for name in backends:
+        if name == "scalar":
+            garble_fn = lambda: garble_circuit(circuit, seed=seed, rekeyed=rekeyed)
+            evaluate_fn = lambda: evaluate_circuit(
+                circuit, reference.garbled, input_labels, rekeyed=rekeyed
+            )
+        else:
+            try:
+                get_backend(name)
+            except BackendUnavailable as exc:
+                skipped.append({"backend": name, "reason": str(exc)})
+                continue
+            garble_fn = lambda name=name: garble_circuit_batched(
+                circuit, seed=seed, rekeyed=rekeyed, backend=name
+            )
+            evaluate_fn = lambda name=name: evaluate_circuit_batched(
+                circuit, reference.garbled, input_labels,
+                rekeyed=rekeyed, backend=name,
+            )
+        garble_s = _time_best(garble_fn, repeats)
+        evaluate_s = _time_best(evaluate_fn, repeats)
+        results[name] = {
+            "garble": {
+                "seconds": garble_s,
+                "gates_per_s": n_gates / garble_s if garble_s else None,
+                "and_gates_per_s": n_and / garble_s if garble_s else None,
+            },
+            "evaluate": {
+                "seconds": evaluate_s,
+                "gates_per_s": n_gates / evaluate_s if evaluate_s else None,
+                "and_gates_per_s": n_and / evaluate_s if evaluate_s else None,
+            },
+        }
+
+    speedups: Dict[str, Dict[str, float]] = {}
+    if "scalar" in results:
+        base = results["scalar"]
+        for name, entry in results.items():
+            if name == "scalar":
+                continue
+            speedups[name] = {
+                "garble": base["garble"]["seconds"] / entry["garble"]["seconds"],
+                "evaluate": base["evaluate"]["seconds"]
+                / entry["evaluate"]["seconds"],
+            }
+    return {
+        "schema": SCHEMA,
+        "circuit": {
+            "name": circuit.name,
+            "gates": n_gates,
+            "and_gates": n_and,
+            "levels": stats.levels,
+        },
+        "rekeyed": rekeyed,
+        "repeats": repeats,
+        "backends": results,
+        "skipped": skipped,
+        "speedup_vs_scalar": speedups,
+    }

@@ -6,12 +6,20 @@ order producing (a) a 32-byte garbled table per AND gate and (b) the
 zero-label of every internal wire.  XOR and INV are free (no table, no
 hashing).  Output decoding information is the permute bit of each output
 wire's zero-label.
+
+Two execution strategies produce bitwise-identical results:
+
+* :func:`garble_circuit` -- the per-gate reference walk;
+* :func:`garble_circuit_batched` -- a level-scheduled walk that FreeXORs
+  a whole dependence level at once and hashes every AND gate of a level
+  in one :mod:`repro.gc.backends` call (vectorized when NumPy is
+  present).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..circuits.netlist import Circuit, GateOp
 from .halfgate import GarbledTable, garble_and, garble_not, garble_xor
@@ -19,7 +27,7 @@ from .hashing import GateHasher
 from .labels import lsb
 from .rng import LabelPrg
 
-__all__ = ["GarbledCircuit", "Garbler", "garble_circuit"]
+__all__ = ["GarbledCircuit", "Garbler", "garble_circuit", "garble_circuit_batched"]
 
 
 @dataclass
@@ -123,3 +131,284 @@ def garble_circuit(
         n_and_gates=len(tables),
     )
     return garbler
+
+
+# ---------------------------------------------------------------------------
+# Level-scheduled batched garbling
+# ---------------------------------------------------------------------------
+
+
+def garble_circuit_batched(
+    circuit: Circuit,
+    seed: int = 0,
+    rekeyed: bool = True,
+    backend: Optional[Union[str, "object"]] = None,
+) -> Garbler:
+    """Garble ``circuit`` level by level with a batch hash backend.
+
+    Bitwise-identical to :func:`garble_circuit` for the same ``seed``:
+    the PRG draws (R, then one label per input wire) happen in the same
+    order, gate tweaks are still netlist positions, and every backend
+    reproduces the scalar hash exactly.  Only the *schedule* changes:
+    gates are processed per ASAP dependence level, FreeXOR/INV levels
+    collapse into bulk XORs and all AND gates of a level go through one
+    backend hash call (4 hashes per gate).
+
+    ``backend`` is a backend name, instance, or ``None`` (environment /
+    auto selection; falls back to the scalar reference without NumPy).
+    """
+    from .backends import resolve_backend
+
+    resolved = resolve_backend(backend)
+    circuit.validate()
+    prg = LabelPrg(seed)
+    r = prg.next_odd_block()
+    hasher = GateHasher(rekeyed=rekeyed)
+    input_labels = [prg.next_block() for _ in range(circuit.n_inputs)]
+
+    if getattr(resolved, "vectorized", False):
+        zero_labels, tables = _garble_levels_vectorized(
+            circuit, input_labels, r, rekeyed, resolved, hasher
+        )
+    else:
+        zero_labels, tables = _garble_levels_generic(
+            circuit, circuit.topological_levels(), input_labels, r, rekeyed,
+            resolved, hasher,
+        )
+
+    decode_bits = [lsb(zero_labels[w]) for w in circuit.outputs]
+    garbler = Garbler(circuit=circuit, r=r, zero_labels=zero_labels, hasher=hasher)
+    garbler.garbled = GarbledCircuit(
+        tables=tables,
+        decode_bits=decode_bits,
+        n_and_gates=len(tables),
+    )
+    return garbler
+
+
+def _garble_levels_generic(
+    circuit: Circuit,
+    levels: List[List[int]],
+    input_labels: List[int],
+    r: int,
+    rekeyed: bool,
+    backend,
+    hasher: GateHasher,
+) -> tuple:
+    """Level-batched garbling over Python-int labels (any backend)."""
+    gates = circuit.gates
+    zero = input_labels + [0] * len(gates)
+    table_by_pos: Dict[int, GarbledTable] = {}
+    for level in levels:
+        and_positions: List[int] = []
+        for position in level:
+            gate = gates[position]
+            if gate.op is GateOp.XOR:
+                zero[gate.out] = zero[gate.a] ^ zero[gate.b]
+            elif gate.op is GateOp.INV:
+                zero[gate.out] = zero[gate.a] ^ r
+            else:
+                and_positions.append(position)
+        if not and_positions:
+            continue
+        labels: List[int] = []
+        tweaks: List[int] = []
+        for position in and_positions:
+            gate = gates[position]
+            wa0 = zero[gate.a]
+            wb0 = zero[gate.b]
+            j_g = 2 * position
+            j_e = j_g + 1
+            labels.extend((wa0, wa0 ^ r, wb0, wb0 ^ r))
+            tweaks.extend((j_g, j_g, j_e, j_e))
+        hashes = backend.hash_labels(labels, tweaks, rekeyed)
+        hasher.record_batch(len(labels))
+        for index, position in enumerate(and_positions):
+            h_a0, h_a1, h_b0, h_b1 = hashes[4 * index : 4 * index + 4]
+            gate = gates[position]
+            wa0 = zero[gate.a]
+            wb0 = zero[gate.b]
+            p_a = wa0 & 1
+            p_b = wb0 & 1
+            t_g = h_a0 ^ h_a1 ^ (r if p_b else 0)
+            w_g0 = h_a0 ^ (t_g if p_a else 0)
+            t_e = h_b0 ^ h_b1 ^ wa0
+            w_e0 = h_b0 ^ ((t_e ^ wa0) if p_b else 0)
+            zero[gate.out] = w_g0 ^ w_e0
+            table_by_pos[position] = GarbledTable(t_g, t_e)
+    tables = [table_by_pos[position] for position in sorted(table_by_pos)]
+    return zero, tables
+
+
+def _vector_plan(circuit: Circuit):
+    """Precompiled index arrays for the vectorized engines, cached.
+
+    One phase per multiplicative depth (see
+    :meth:`Circuit.and_level_schedule`):
+    ``(and_positions, a_idx, b_idx, out_idx, free_groups)`` with every
+    member an ``int64`` gather/scatter array (``None`` when the phase
+    has no AND batch), and ``free_groups`` a list of
+    ``(xor_a, xor_b, xor_out, inv_a, inv_out)`` array tuples.  The plan
+    is a pure function of the netlist, so garbler, evaluator and every
+    repeat of a benchmark share one build.
+    """
+    import numpy as np
+
+    plan = getattr(circuit, "_vector_plan_cache", None)
+    if plan is not None:
+        return plan
+    gates = circuit.gates
+    plan = []
+    for and_batch, free_groups in circuit.and_level_schedule():
+        if and_batch:
+            and_arrays = (
+                np.asarray(and_batch, dtype=np.int64),
+                np.asarray([gates[p].a for p in and_batch], dtype=np.int64),
+                np.asarray([gates[p].b for p in and_batch], dtype=np.int64),
+                np.asarray([gates[p].out for p in and_batch], dtype=np.int64),
+            )
+        else:
+            and_arrays = (None, None, None, None)
+        compiled_groups = []
+        for group in free_groups:
+            xor_a: List[int] = []
+            xor_b: List[int] = []
+            xor_out: List[int] = []
+            inv_a: List[int] = []
+            inv_out: List[int] = []
+            for position in group:
+                gate = gates[position]
+                if gate.op is GateOp.XOR:
+                    xor_a.append(gate.a)
+                    xor_b.append(gate.b)
+                    xor_out.append(gate.out)
+                else:
+                    inv_a.append(gate.a)
+                    inv_out.append(gate.out)
+            compiled_groups.append(
+                (
+                    np.asarray(xor_a, dtype=np.int64) if xor_a else None,
+                    np.asarray(xor_b, dtype=np.int64) if xor_b else None,
+                    np.asarray(xor_out, dtype=np.int64) if xor_out else None,
+                    np.asarray(inv_a, dtype=np.int64) if inv_a else None,
+                    np.asarray(inv_out, dtype=np.int64) if inv_out else None,
+                )
+            )
+        plan.append(and_arrays + (compiled_groups,))
+    circuit._vector_plan_cache = plan
+    return plan
+
+
+def _prepare_and_schedules(circuit: Circuit, backend, rekeyed: bool):
+    """Pre-expand every AND gate's pair of hash keys in one backend call.
+
+    Tweaks are static (``2p`` / ``2p + 1`` for netlist position ``p``),
+    so the whole program's key schedules can be computed before any
+    label exists -- the software analogue of HAAC streaming round keys
+    ahead of the Half-Gate pipeline.  Returns the schedule (or raw tweak
+    block, in fixed-key mode) array with the generator/evaluator rows of
+    the ``i``-th AND gate *in plan order* interleaved at ``2i`` /
+    ``2i + 1`` -- each phase's batch is therefore a contiguous,
+    stride-2 view.
+    """
+    tweaks: List[int] = []
+    for and_batch, _ in circuit.and_level_schedule():
+        for position in and_batch:
+            tweaks.append(2 * position)
+            tweaks.append(2 * position + 1)
+    keys = backend.tweaks_to_keys(tweaks)
+    return backend.expand_keys(keys) if rekeyed else keys
+
+
+def _run_free_groups(state, free_groups, r_vec) -> None:
+    """Apply every XOR/INV group of one phase as bulk array XORs.
+
+    ``r_vec`` is the FreeXOR offset row for the Garbler, or ``None`` on
+    the Evaluator side (where INV forwards the label unchanged).
+    """
+    for xor_a, xor_b, xor_out, inv_a, inv_out in free_groups:
+        if xor_out is not None:
+            state[xor_out] = state[xor_a] ^ state[xor_b]
+        if inv_out is not None:
+            if r_vec is None:
+                state[inv_out] = state[inv_a]
+            else:
+                state[inv_out] = state[inv_a] ^ r_vec
+
+
+def _garble_levels_vectorized(
+    circuit: Circuit,
+    input_labels: List[int],
+    r: int,
+    rekeyed: bool,
+    backend,
+    hasher: GateHasher,
+) -> tuple:
+    """Fully vectorized garbling: wire state lives in a uint32 array.
+
+    The whole label store is an ``(n_wires, 4) uint32`` array.  Work is
+    scheduled by multiplicative depth (:meth:`Circuit.and_level_schedule`),
+    so each phase FreeXORs its independent gate groups with bulk XORs
+    and hashes *all four labels of every AND gate in the batch* with a
+    single backend call against pre-expanded key schedules.
+    """
+    import numpy as np
+
+    state = np.zeros((circuit.n_wires, 4), dtype=np.uint32)
+    if input_labels:
+        state[: len(input_labels)] = backend.ints_to_blocks(input_labels)
+    r_vec = backend.ints_to_blocks([r])[0]
+    plan = _vector_plan(circuit)
+    sched = _prepare_and_schedules(circuit, backend, rekeyed)
+
+    table_positions: List[np.ndarray] = []
+    generator_rows: List[np.ndarray] = []
+    evaluator_rows: List[np.ndarray] = []
+
+    offset = 0
+    for positions, a_idx, b_idx, out_idx, free_groups in plan:
+        if positions is not None:
+            m = len(positions)
+            sched_g = sched[2 * offset : 2 * (offset + m) : 2]
+            sched_e = sched[2 * offset + 1 : 2 * (offset + m) : 2]
+            offset += m
+            wa0 = state[a_idx]
+            wb0 = state[b_idx]
+            labels = np.concatenate([wa0, wa0 ^ r_vec, wb0, wb0 ^ r_vec])
+            key_rows = np.concatenate([sched_g, sched_g, sched_e, sched_e])
+            if rekeyed:
+                hashes = backend.hash_with_schedules(labels, key_rows)
+            else:
+                hashes = backend.hash_fixed_key_blocks(labels, key_rows)
+            hasher.record_batch(4 * m)
+            h_a0 = hashes[:m]
+            h_a1 = hashes[m : 2 * m]
+            h_b0 = hashes[2 * m : 3 * m]
+            h_b1 = hashes[3 * m :]
+
+            p_a = (wa0[:, 3] & 1).astype(bool)
+            p_b = (wb0[:, 3] & 1).astype(bool)
+            t_g = h_a0 ^ h_a1
+            t_g[p_b] ^= r_vec
+            w_g0 = h_a0.copy()
+            w_g0[p_a] ^= t_g[p_a]
+            t_e = h_b0 ^ h_b1 ^ wa0
+            w_e0 = h_b0.copy()
+            masked = t_e ^ wa0
+            w_e0[p_b] ^= masked[p_b]
+            state[out_idx] = w_g0 ^ w_e0
+
+            table_positions.append(positions)
+            generator_rows.append(t_g)
+            evaluator_rows.append(t_e)
+        _run_free_groups(state, free_groups, r_vec)
+
+    zero_labels = backend.blocks_to_ints(state)
+    tables: List[GarbledTable] = []
+    if table_positions:
+        positions = np.concatenate(table_positions)
+        order = np.argsort(positions, kind="stable")
+        g_ints = backend.blocks_to_ints(np.concatenate(generator_rows)[order])
+        e_ints = backend.blocks_to_ints(np.concatenate(evaluator_rows)[order])
+        tables = [GarbledTable(g, e) for g, e in zip(g_ints, e_ints)]
+    return zero_labels, tables

@@ -77,6 +77,18 @@ class GateHasher:
             return rekeyed_hash(label, index)
         return fixed_key_hash(label, index)
 
+    def record_batch(self, n: int) -> None:
+        """Account for ``n`` hash calls performed by a batch backend.
+
+        Batched backends compute hashes out-of-line (see
+        :mod:`repro.gc.backends`); this keeps the call/expansion ledger
+        identical to ``n`` scalar invocations so the CPU cost model sees
+        the same work regardless of execution substrate.
+        """
+        self.calls += n
+        if self.rekeyed:
+            self.key_expansions += n
+
     def reset(self) -> None:
         self.calls = 0
         self.key_expansions = 1 if not self.rekeyed else 0

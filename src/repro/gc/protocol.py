@@ -20,12 +20,12 @@ the HAAC accelerator replaces step 3's software evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..circuits.netlist import Circuit
 from .channel import ChannelPair, make_channel_pair
-from .evaluate import evaluate_circuit
-from .garble import garble_circuit
+from .evaluate import evaluate_circuit, evaluate_circuit_batched
+from .garble import garble_circuit, garble_circuit_batched
 from .ot import OtReceiver, OtSender
 from .rng import LabelPrg
 
@@ -56,11 +56,25 @@ class TwoPartySession:
     ephemerals) for reproducibility.
     """
 
-    def __init__(self, circuit: Circuit, seed: int = 0, rekeyed: bool = True) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        seed: int = 0,
+        rekeyed: bool = True,
+        backend: Optional[Union[str, object]] = None,
+    ) -> None:
+        """``backend`` selects the batched garbling/evaluation substrate.
+
+        ``None`` keeps the audited per-gate reference path; a backend
+        name/instance (or ``"auto"``) runs both parties through the
+        level-batched engines of :mod:`repro.gc.backends` -- producing
+        bitwise-identical traffic either way.
+        """
         circuit.validate()
         self.circuit = circuit
         self.seed = seed
         self.rekeyed = rekeyed
+        self.backend = backend
         self.channels: ChannelPair = make_channel_pair()
 
     def run(
@@ -75,7 +89,12 @@ class TwoPartySession:
         up = self.channels.to_garbler
 
         # -- Alice: offline garbling ------------------------------------
-        garbler = garble_circuit(circuit, seed=self.seed, rekeyed=self.rekeyed)
+        if self.backend is None:
+            garbler = garble_circuit(circuit, seed=self.seed, rekeyed=self.rekeyed)
+        else:
+            garbler = garble_circuit_batched(
+                circuit, seed=self.seed, rekeyed=self.rekeyed, backend=self.backend
+            )
         garbled = garbler.garbled
 
         # -- OT round trip for Bob's labels (Bob consumes channel
@@ -134,9 +153,18 @@ class TwoPartySession:
             decode_bits=decode_bits,
             n_and_gates=len(tables),
         )
-        result = evaluate_circuit(
-            circuit, garbled_for_bob, input_labels, rekeyed=self.rekeyed
-        )
+        if self.backend is None:
+            result = evaluate_circuit(
+                circuit, garbled_for_bob, input_labels, rekeyed=self.rekeyed
+            )
+        else:
+            result = evaluate_circuit_batched(
+                circuit,
+                garbled_for_bob,
+                input_labels,
+                rekeyed=self.rekeyed,
+                backend=self.backend,
+            )
 
         # -- Output sharing ----------------------------------------------
         up.send(
@@ -161,8 +189,9 @@ def run_two_party(
     evaluator_bits: Sequence[int],
     seed: int = 0,
     rekeyed: bool = True,
+    backend: Optional[Union[str, object]] = None,
 ) -> SessionResult:
     """One-call convenience wrapper around :class:`TwoPartySession`."""
-    return TwoPartySession(circuit, seed=seed, rekeyed=rekeyed).run(
+    return TwoPartySession(circuit, seed=seed, rekeyed=rekeyed, backend=backend).run(
         garbler_bits, evaluator_bits
     )

@@ -53,6 +53,13 @@ class HaacConfig:
     queue_sram_bytes: int = 64 * 1024
     instr_bytes: int = INSTR_BYTES
     model_bank_conflicts: bool = False
+    # Label-hash substrate for the functional machine's garbling step
+    # (pass this config to sim.functional.run_functional): None keeps
+    # the audited per-gate scalar path, "auto"/"numpy"/"scalar" selects
+    # a batched repro.gc.backends engine ("auto" falls back to scalar
+    # when NumPy is absent).  The REPRO_GC_BACKEND environment variable
+    # overrides "auto" resolution.
+    gc_backend: "str | None" = None
 
     def __post_init__(self) -> None:
         if self.n_ges < 1:
@@ -99,6 +106,9 @@ class HaacConfig:
 
     def with_role(self, role: Role) -> "HaacConfig":
         return self._replace(role=role)
+
+    def with_gc_backend(self, gc_backend: "str | None") -> "HaacConfig":
+        return self._replace(gc_backend=gc_backend)
 
     def _replace(self, **changes) -> "HaacConfig":
         from dataclasses import replace

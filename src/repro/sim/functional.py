@@ -28,7 +28,7 @@ from ..circuits.netlist import GateOp
 from ..core.isa import HaacOp
 from ..core.passes.streams import StreamSet
 from ..gc.evaluate import EvaluationResult
-from ..gc.garble import Garbler, garble_circuit
+from ..gc.garble import Garbler, garble_circuit, garble_circuit_batched
 from ..gc.halfgate import eval_and, eval_xor
 from ..gc.hashing import GateHasher
 from ..gc.labels import lsb
@@ -82,17 +82,31 @@ def run_functional(
     evaluator_bits: Sequence[int],
     seed: int = 0,
     garbler: Optional[Garbler] = None,
+    gc_backend: Optional[str] = None,
+    config=None,
 ) -> FunctionalRun:
     """Garble the program netlist, then execute the streams as hardware.
 
     ``garbler_bits``/``evaluator_bits`` are inputs for the program's
     (lowered) netlist -- use :meth:`LoweredCircuit.adapt_inputs` when the
     original circuit had INV gates.
+
+    ``gc_backend`` selects the garbling substrate: ``None`` garbles with
+    the per-gate scalar reference, any other value routes through the
+    level-batched backend engine -- the stream replay below is
+    unaffected either way because both substrates emit bitwise-identical
+    labels and tables.  Passing a :class:`~repro.sim.config.HaacConfig`
+    as ``config`` defaults ``gc_backend`` from ``config.gc_backend``.
     """
     program = streams.program
     netlist = program.netlist
+    if gc_backend is None and config is not None:
+        gc_backend = config.gc_backend
     if garbler is None:
-        garbler = garble_circuit(netlist, seed=seed)
+        if gc_backend is None:
+            garbler = garble_circuit(netlist, seed=seed)
+        else:
+            garbler = garble_circuit_batched(netlist, seed=seed, backend=gc_backend)
     tables = garbler.garbled.tables
     hasher = GateHasher(rekeyed=garbler.hasher.rekeyed)
 

@@ -25,7 +25,6 @@ their 4-byte address stream, and live-wire write-backs.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List
 
 from ..core.isa import HaacOp
@@ -53,7 +52,15 @@ def compute_traffic(streams: StreamSet, config: HaacConfig) -> BandwidthLedger:
 def _compute_cycles(
     streams: StreamSet, config: HaacConfig, stalls: StallBreakdown
 ) -> tuple[int, Dict[int, int]]:
-    """Replay the per-GE streams in order; returns (cycles, issued per GE)."""
+    """Replay the per-GE streams in order; returns (cycles, issued per GE).
+
+    This is the simulator's hottest loop (one iteration per instruction,
+    millions for the large stdlib circuits), so all per-gate stream
+    attributes are flattened into preallocated parallel arrays up front
+    and the loop body touches only local list indexing -- no dataclass
+    attribute walks, no defaultdicts, no per-iteration method calls.
+    Cycle counts are identical to the straightforward replay.
+    """
     program = streams.program
     n_inputs = program.n_inputs
     gates = program.netlist.gates
@@ -63,79 +70,110 @@ def _compute_cycles(
     and_latency = config.and_latency
     xor_latency = config.xor_latency
     forward = config.cross_ge_forward
+    writeback = config.writeback_stages
 
-    value_ready = [0] * program.n_wires
-    producer_ge = [-1] * program.n_wires
+    # Preallocated per-wire / per-GE state arrays.
+    n_wires = program.n_wires
+    value_ready = [0] * n_wires
+    producer_ge = [-1] * n_wires
     ge_last_issue = [-1] * streams.n_ges
-    issued_per_ge: Dict[int, int] = defaultdict(int)
+    issued_per_ge = [0] * streams.n_ges
     # Window-sync hazard of the tagless SWW: a write to wire o lands in
     # the slot of wire o - capacity and must wait for its last in-window
     # reader (see core.passes.streams._greedy_schedule).
     capacity = streams.window.capacity
-    last_read_issue = [0] * program.n_wires
+    last_read_issue = [0] * n_wires
+
+    # Flattened per-instruction streams (out_addr(p) is n_inputs + p by
+    # the ISA contract, tracked incrementally as `out`).
+    and_op = HaacOp.AND
+    latency_of = [
+        and_latency if instr.op is and_op else xor_latency for instr in instructions
+    ]
+    a_of = [gate.a for gate in gates]
+    b_of = [gate.b for gate in gates]
 
     conflicts = config.model_bank_conflicts
     n_banks = config.n_banks
     # Each single-ported bank runs at sww_clock; accesses per GE cycle:
     ports_per_cycle = max(1, int(config.sww_clock_hz / config.ge_clock_hz))
-    bank_load: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    bank_load: Dict[int, List[int]] = {}
+
+    dependence_stall = 0
+    window_sync_stall = 0
+    bank_conflict_stall = 0
 
     max_finish = 0
-    for position, gate in enumerate(gates):
-        instr = instructions[position]
-        ge = ge_of[position]
+    out = n_inputs
+    for a, b, ge, latency in zip(a_of, b_of, ge_of, latency_of):
         earliest_inorder = ge_last_issue[ge] + 1
         ready = earliest_inorder
-        for wire in (gate.a, gate.b):
-            available = value_ready[wire]
-            if (
-                wire >= n_inputs
-                and producer_ge[wire] >= 0
-                and producer_ge[wire] != ge
-            ):
-                available += forward
-            if available > ready:
-                ready = available
+        available = value_ready[a]
+        if a >= n_inputs and producer_ge[a] >= 0 and producer_ge[a] != ge:
+            available += forward
+        if available > ready:
+            ready = available
+        available = value_ready[b]
+        if b >= n_inputs and producer_ge[b] >= 0 and producer_ge[b] != ge:
+            available += forward
+        if available > ready:
+            ready = available
         if ready > earliest_inorder:
-            stalls.dependence += ready - earliest_inorder
-        out = program.out_addr(position)
+            dependence_stall += ready - earliest_inorder
         evicted = out - capacity
-        if evicted >= 0 and last_read_issue[evicted] > ready:
-            stalls.window_sync += last_read_issue[evicted] - ready
-            ready = last_read_issue[evicted]
+        if evicted >= 0:
+            reader = last_read_issue[evicted]
+            if reader > ready:
+                window_sync_stall += reader - ready
+                ready = reader
         issue = ready
 
         if conflicts:
             # Reads hit banks at issue + 1 (address-to-bank stage).
+            bank_a = a % n_banks
+            bank_b = b % n_banks
             while True:
-                cycle_loads = bank_load[issue + 1]
-                banks = [gate.a % n_banks, gate.b % n_banks]
-                if all(
-                    cycle_loads[bank] + banks.count(bank) <= ports_per_cycle
-                    for bank in set(banks)
-                ):
-                    for bank in banks:
-                        cycle_loads[bank] += 1
+                cycle_loads = bank_load.get(issue + 1)
+                if cycle_loads is None:
+                    cycle_loads = [0] * n_banks
+                    bank_load[issue + 1] = cycle_loads
+                if bank_a == bank_b:
+                    fits = cycle_loads[bank_a] + 2 <= ports_per_cycle
+                else:
+                    fits = (
+                        cycle_loads[bank_a] + 1 <= ports_per_cycle
+                        and cycle_loads[bank_b] + 1 <= ports_per_cycle
+                    )
+                if fits:
+                    cycle_loads[bank_a] += 1
+                    cycle_loads[bank_b] += 1
                     break
-                stalls.bank_conflict += 1
+                bank_conflict_stall += 1
                 issue += 1
 
         ge_last_issue[ge] = issue
         issued_per_ge[ge] += 1
-        latency = and_latency if instr.op is HaacOp.AND else xor_latency
         value_ready[out] = issue + latency
         producer_ge[out] = ge
-        for wire in (gate.a, gate.b):
-            if issue + 1 > last_read_issue[wire]:
-                last_read_issue[wire] = issue + 1
-        finish = issue + latency + config.writeback_stages
+        read_issue = issue + 1
+        if read_issue > last_read_issue[a]:
+            last_read_issue[a] = read_issue
+        if read_issue > last_read_issue[b]:
+            last_read_issue[b] = read_issue
+        finish = issue + latency + writeback
         if finish > max_finish:
             max_finish = finish
+        out += 1
 
+    stalls.dependence += dependence_stall
+    stalls.window_sync += window_sync_stall
+    stalls.bank_conflict += bank_conflict_stall
     if instructions:
         last_issue = max(ge_last_issue)
         stalls.drain += max(0, max_finish - (last_issue + 1))
-    return max_finish, dict(issued_per_ge)
+    return max_finish, {
+        ge: count for ge, count in enumerate(issued_per_ge) if count
+    }
 
 
 def simulate(streams: StreamSet, config: HaacConfig) -> SimResult:

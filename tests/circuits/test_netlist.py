@@ -130,3 +130,85 @@ class TestRandomCircuits:
         for gate in circuit.gates:
             for wire in gate.inputs():
                 assert levels[gate.out] > levels[wire]
+
+
+class TestTopologicalLevels:
+    def test_partitions_all_gates(self):
+        circuit = random_circuit(random.Random(2), n_gates=150)
+        buckets = circuit.topological_levels()
+        flat = sorted(position for bucket in buckets for position in bucket)
+        assert flat == list(range(150))
+        assert len(buckets) == circuit.depth()
+
+    def test_gates_within_a_level_are_independent(self):
+        circuit = random_circuit(random.Random(5), n_gates=150)
+        levels = circuit.gate_levels()
+        for bucket in circuit.topological_levels():
+            outs = {circuit.gates[p].out for p in bucket}
+            for position in bucket:
+                for wire in circuit.gates[position].inputs():
+                    assert wire not in outs
+                assert levels[position] == levels[bucket[0]]
+
+    def test_empty_circuit(self):
+        circuit = Circuit(1, 0, [0], [])
+        assert circuit.topological_levels() == []
+        assert circuit.and_level_schedule() == [([], [])]
+
+
+class TestAndLevelSchedule:
+    """The multiplicative-depth batches behind the vectorized garbler."""
+
+    def _replay(self, circuit, garbler_bits, evaluator_bits):
+        """Plaintext replay following the phase schedule exactly."""
+        values = [None] * circuit.n_wires
+        for wire, bit in enumerate(list(garbler_bits) + list(evaluator_bits)):
+            values[wire] = bit & 1
+        for and_batch, free_groups in circuit.and_level_schedule():
+            for position in and_batch:
+                gate = circuit.gates[position]
+                assert values[gate.a] is not None and values[gate.b] is not None
+                values[gate.out] = values[gate.a] & values[gate.b]
+            for group in free_groups:
+                for position in group:
+                    gate = circuit.gates[position]
+                    assert all(values[w] is not None for w in gate.inputs())
+                    if gate.op is GateOp.XOR:
+                        values[gate.out] = values[gate.a] ^ values[gate.b]
+                    else:
+                        values[gate.out] = values[gate.a] ^ 1
+        return [values[w] for w in circuit.outputs]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_schedule_respects_dependences(self, seed):
+        rng = random.Random(seed)
+        circuit = random_circuit(rng, n_gates=200)
+        garbler_bits = [rng.getrandbits(1) for _ in range(circuit.n_garbler_inputs)]
+        evaluator_bits = [
+            rng.getrandbits(1) for _ in range(circuit.n_evaluator_inputs)
+        ]
+        got = self._replay(circuit, garbler_bits, evaluator_bits)
+        assert got == circuit.eval_plain(garbler_bits, evaluator_bits)
+
+    def test_covers_every_gate_once(self):
+        circuit = random_circuit(random.Random(7), n_gates=180)
+        seen = []
+        for and_batch, free_groups in circuit.and_level_schedule():
+            seen.extend(and_batch)
+            for group in free_groups:
+                seen.extend(group)
+        assert sorted(seen) == list(range(180))
+
+    def test_and_batches_much_coarser_than_asap_levels(self):
+        # The whole point of the schedule: far fewer hash batches than
+        # ASAP levels on XOR-heavy circuits.
+        from repro.circuits.stdlib.aes_circuit import build_aes128_circuit
+
+        circuit = build_aes128_circuit()
+        phases = circuit.and_level_schedule()
+        n_and_batches = sum(1 for and_batch, _ in phases if and_batch)
+        assert n_and_batches < circuit.depth() // 10
+
+    def test_schedule_is_cached(self):
+        circuit = random_circuit(random.Random(1), n_gates=50)
+        assert circuit.and_level_schedule() is circuit.and_level_schedule()

@@ -115,3 +115,47 @@ def test_encryption_is_injective_in_block(key):
     a = encrypt_block(0x1234, key)
     b = encrypt_block(0x5678, key)
     assert a != b
+
+
+class TestExpandKeyCache:
+    """The hot scalar path must not re-expand per hash call.
+
+    Re-keyed garbling hashes each half-gate's two labels under the same
+    tweak key, so a correctly working LRU means exactly two schedule
+    computations per AND gate (one per half-gate) -- not four.
+    """
+
+    def test_cache_is_generously_sized(self):
+        info = expand_key.cache_info()
+        assert info.maxsize is not None and info.maxsize >= 4096
+
+    def test_expansion_is_cached_per_tweak(self):
+        expand_key.cache_clear()
+        expand_key(0xDEAD)
+        expand_key(0xDEAD)
+        info = expand_key.cache_info()
+        assert info.misses == 1
+        assert info.hits == 1
+
+    def test_garbler_expands_twice_per_and_gate(self):
+        from repro.circuits.builder import CircuitBuilder
+        from repro.circuits.stdlib.integer import mul
+        from repro.gc.garble import garble_circuit
+
+        builder = CircuitBuilder()
+        xs = builder.add_garbler_inputs(8)
+        ys = builder.add_evaluator_inputs(8)
+        builder.mark_outputs(mul(builder, xs, ys))
+        circuit = builder.build("mul8")
+        n_and = circuit.stats().and_gates
+        assert n_and > 0
+
+        expand_key.cache_clear()
+        garbler = garble_circuit(circuit, seed=42)
+        info = expand_key.cache_info()
+        assert garbler.hasher.calls == 4 * n_and
+        # Misses: one schedule per half-gate tweak plus the PRG key.
+        assert info.misses == 2 * n_and + 1
+        # Hits: the second label of each half-gate reuses the schedule,
+        # and every PRG block after the first hits the PRG-key schedule.
+        assert info.hits >= 2 * n_and

@@ -1,0 +1,278 @@
+"""Backend layer: registry, vectorized AES, batched garbling parity.
+
+The contract under test: every backend and both schedulers (per-gate
+reference vs. level-batched) produce *bitwise-identical* garbled tables,
+wire labels, decode bits and hash accounting, across every stdlib
+circuit family.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.stdlib import fixed, integer, logic
+from repro.circuits.stdlib.aes_circuit import build_aes128_circuit
+from repro.circuits.stdlib.float import FloatFormat, fp_add
+from repro.gc.backends import (
+    BACKEND_ENV_VAR,
+    BackendUnavailable,
+    available_backends,
+    get_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.gc.backends import numpy_backend as numpy_backend_module
+from repro.gc.evaluate import evaluate_circuit, evaluate_circuit_batched
+from repro.gc.garble import garble_circuit, garble_circuit_batched
+from repro.gc.hashing import fixed_key_hash, rekeyed_hash
+
+
+def _logic8():
+    b = CircuitBuilder()
+    xs = b.add_garbler_inputs(8)
+    ys = b.add_evaluator_inputs(8)
+    b.mark_outputs(logic.popcount(b, logic.bitwise_and(b, xs, ys)))
+    b.mark_outputs([logic.equals(b, xs, ys), logic.parity(b, xs)])
+    b.mark_outputs(logic.mux(b, logic.any_bit(b, ys), xs, ys))
+    return b.build("logic8")
+
+
+def _adder8():
+    b = CircuitBuilder()
+    xs = b.add_garbler_inputs(8)
+    ys = b.add_evaluator_inputs(8)
+    b.mark_outputs(integer.add(b, xs, ys))
+    return b.build("adder8")
+
+
+def _integer8():
+    b = CircuitBuilder()
+    xs = b.add_garbler_inputs(8)
+    ys = b.add_evaluator_inputs(8)
+    b.mark_outputs(integer.sub(b, xs, ys))
+    b.mark_outputs(integer.mul(b, xs, ys))
+    b.mark_outputs([integer.less_than(b, xs, ys)])
+    return b.build("integer8")
+
+
+def _fixed8():
+    b = CircuitBuilder()
+    fmt = fixed.FixedFormat(width=8, fraction_bits=3)
+    xs = b.add_garbler_inputs(8)
+    ys = b.add_evaluator_inputs(8)
+    b.mark_outputs(fixed.fx_mul(b, fmt, xs, ys))
+    return b.build("fixed8")
+
+
+def _float8():
+    b = CircuitBuilder()
+    fmt = FloatFormat(exponent_bits=4, mantissa_bits=3)
+    xs = b.add_garbler_inputs(fmt.width)
+    ys = b.add_evaluator_inputs(fmt.width)
+    b.mark_outputs(fp_add(b, fmt, xs, ys))
+    return b.build("float8")
+
+
+STDLIB_CIRCUITS = {
+    "logic8": _logic8,
+    "adder8": _adder8,
+    "integer8": _integer8,
+    "fixed8": _fixed8,
+    "float8": _float8,
+}
+
+
+def _random_circuit(rng, n_inputs=10, n_gates=120):
+    """Random well-formed circuit (mirrors the conftest helper)."""
+    from repro.circuits.netlist import Circuit, Gate, GateOp
+
+    gates = []
+    n_wires = n_inputs
+    for _ in range(n_gates):
+        roll = rng.random()
+        a = rng.randrange(n_wires)
+        if roll < 0.1:
+            gates.append(Gate(GateOp.INV, a, -1, n_wires))
+        else:
+            b = rng.randrange(n_wires)
+            op = GateOp.AND if roll < 0.5 else GateOp.XOR
+            gates.append(Gate(op, a, b, n_wires))
+        n_wires += 1
+    outputs = [n_wires - 1 - i for i in range(max(1, n_gates // 8))]
+    half = n_inputs // 2
+    return Circuit.from_gates(half, n_inputs - half, gates, outputs, "random")
+
+
+def _assert_batched_matches_reference(circuit, backend, rekeyed=True, seed=11):
+    reference = garble_circuit(circuit, seed=seed, rekeyed=rekeyed)
+    batched = garble_circuit_batched(
+        circuit, seed=seed, rekeyed=rekeyed, backend=backend
+    )
+    assert batched.r == reference.r
+    assert batched.zero_labels == reference.zero_labels
+    assert batched.garbled.tables == reference.garbled.tables
+    assert batched.garbled.decode_bits == reference.garbled.decode_bits
+    assert batched.hasher.calls == reference.hasher.calls
+    assert batched.hasher.key_expansions == reference.hasher.key_expansions
+
+    rng = random.Random(seed)
+    garbler_bits = [rng.getrandbits(1) for _ in range(circuit.n_garbler_inputs)]
+    evaluator_bits = [rng.getrandbits(1) for _ in range(circuit.n_evaluator_inputs)]
+    inputs = [
+        reference.input_label(wire, bit)
+        for wire, bit in enumerate(garbler_bits + evaluator_bits)
+    ]
+    want = evaluate_circuit(circuit, reference.garbled, inputs, rekeyed=rekeyed)
+    got = evaluate_circuit_batched(
+        circuit, batched.garbled, inputs, rekeyed=rekeyed, backend=backend
+    )
+    assert got.output_labels == want.output_labels
+    assert got.output_bits == want.output_bits
+    assert got.output_bits == circuit.eval_plain(garbler_bits, evaluator_bits)
+    assert got.hash_calls == want.hash_calls
+    assert got.key_expansions == want.key_expansions
+
+
+class TestRegistry:
+    def test_scalar_always_registered_and_available(self):
+        assert "scalar" in registered_backends()
+        assert "scalar" in available_backends()
+        assert get_backend("scalar").name == "scalar"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendUnavailable, match="unknown"):
+            get_backend("cuda")
+
+    def test_resolve_accepts_instances(self):
+        backend = get_backend("scalar")
+        assert resolve_backend(backend) is backend
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
+        assert resolve_backend(None).name == "scalar"
+
+    def test_env_var_overrides_explicit_auto(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
+        assert resolve_backend("auto").name == "scalar"
+
+    def test_auto_resolution_returns_something(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None).name in available_backends()
+
+
+class TestHashParity:
+    @pytest.mark.parametrize("rekeyed", [True, False])
+    def test_backends_match_scalar_hash(self, rekeyed):
+        rng = random.Random(0xBEEF)
+        labels = [rng.getrandbits(128) for _ in range(257)]
+        tweaks = [rng.getrandbits(64) for _ in range(257)]
+        scalar_fn = rekeyed_hash if rekeyed else fixed_key_hash
+        want = [scalar_fn(label, tweak) for label, tweak in zip(labels, tweaks)]
+        for name in available_backends():
+            got = get_backend(name).hash_labels(labels, tweaks, rekeyed)
+            assert got == want, f"backend {name} diverges from scalar hash"
+
+    def test_empty_batch(self):
+        for name in available_backends():
+            assert get_backend(name).hash_labels([], [], True) == []
+
+    def test_mismatched_lengths_raise(self):
+        for name in available_backends():
+            with pytest.raises(ValueError):
+                get_backend(name).hash_labels([1, 2], [0], True)
+
+
+class TestBatchedGarbling:
+    @pytest.mark.parametrize("circuit_name", sorted(STDLIB_CIRCUITS))
+    def test_batched_matches_reference_on_stdlib(self, circuit_name):
+        circuit = STDLIB_CIRCUITS[circuit_name]()
+        for backend in available_backends():
+            _assert_batched_matches_reference(circuit, backend)
+
+    def test_fixed_key_mode_matches(self):
+        circuit = _integer8()
+        for backend in available_backends():
+            _assert_batched_matches_reference(circuit, backend, rekeyed=False)
+
+    def test_random_circuits_match(self, rng):
+        for trial in range(3):
+            circuit = _random_circuit(rng, n_inputs=10, n_gates=120)
+            for backend in available_backends():
+                _assert_batched_matches_reference(circuit, backend, seed=trial)
+
+    @pytest.mark.slow
+    def test_batched_matches_reference_on_aes128(self):
+        circuit = build_aes128_circuit()
+        backends = available_backends()
+        # Cross-check the fastest available backend against the scalar
+        # reference on the paper's flagship garbling benchmark.
+        backend = "numpy" if "numpy" in backends else "scalar"
+        _assert_batched_matches_reference(circuit, backend)
+
+
+class TestIntegration:
+    def test_two_party_session_matches_reference_path(self):
+        from repro.gc.protocol import run_two_party
+
+        circuit = _integer8()
+        garbler_bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        evaluator_bits = [0, 1, 1, 0, 1, 0, 0, 1]
+        want = run_two_party(circuit, garbler_bits, evaluator_bits, seed=9)
+        for backend in available_backends() + ["auto"]:
+            got = run_two_party(
+                circuit, garbler_bits, evaluator_bits, seed=9, backend=backend
+            )
+            assert got.output_bits == want.output_bits
+            assert got.traffic == want.traffic
+            assert got.total_bytes == want.total_bytes
+            assert got.hash_calls_evaluator == want.hash_calls_evaluator
+
+    def test_functional_machine_accepts_gc_backend(self):
+        from repro.core.compiler import OptLevel, compile_circuit
+        from repro.sim.config import HaacConfig
+        from repro.sim.functional import run_functional
+
+        circuit = _adder8()
+        config = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+        result = compile_circuit(
+            circuit, config.window, config.n_ges,
+            opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+        )
+        bits_g = [1, 1, 0, 0, 1, 0, 1, 0]
+        bits_e = [0, 1, 0, 1, 1, 1, 0, 0]
+        g2, e2 = result.lowered.adapt_inputs(bits_g, bits_e)
+        want = run_functional(result.streams, g2, e2, seed=3)
+        for backend in available_backends() + ["auto"]:
+            got = run_functional(result.streams, g2, e2, seed=3, gc_backend=backend)
+            assert got.output_bits == want.output_bits
+            assert got.output_labels == want.output_labels
+        # HaacConfig.gc_backend is honoured when the config is passed.
+        via_config = run_functional(
+            result.streams, g2, e2, seed=3,
+            config=config.with_gc_backend("auto"),
+        )
+        assert via_config.output_labels == want.output_labels
+
+
+class TestNumpyFallback:
+    def test_numpy_unavailable_raises_and_auto_falls_back(self, monkeypatch):
+        monkeypatch.setattr(numpy_backend_module, "_np", None)
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with pytest.raises(BackendUnavailable, match="NumPy"):
+            get_backend("numpy")
+        assert "numpy" not in available_backends()
+        assert resolve_backend(None).name == "scalar"
+        assert resolve_backend("auto").name == "scalar"
+        # The batched entry points still work (and still match the
+        # reference) with auto resolution.
+        circuit = _adder8()
+        _assert_batched_matches_reference(circuit, None)
+
+    def test_explicit_numpy_request_fails_loudly(self, monkeypatch):
+        monkeypatch.setattr(numpy_backend_module, "_np", None)
+        circuit = _adder8()
+        with pytest.raises(BackendUnavailable):
+            garble_circuit_batched(circuit, backend="numpy")

@@ -1,0 +1,45 @@
+"""scripts/bench_throughput.py smoke: runs and emits schema-stable JSON."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = ROOT / "scripts" / "bench_throughput.py"
+
+
+def test_bench_throughput_quick_emits_valid_json(tmp_path):
+    out = tmp_path / "BENCH_throughput.json"
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--quick", "--json", str(out)],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    data = json.loads(out.read_text())
+    assert data["schema"] == "repro.bench_throughput/v1"
+    assert data["circuit"]["gates"] > 0
+    assert data["circuit"]["and_gates"] > 0
+    assert "scalar" in data["backends"]
+    for entry in data["backends"].values():
+        for phase in ("garble", "evaluate"):
+            assert entry[phase]["seconds"] > 0
+            assert entry[phase]["gates_per_s"] > 0
+            assert entry[phase]["and_gates_per_s"] > 0
+    # Any skipped backend must say why.
+    for skipped in data["skipped"]:
+        assert skipped["backend"] and skipped["reason"]
+
+
+def test_bench_throughput_rejects_unknown_circuit():
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--circuit", "nonsense"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        timeout=60,
+    )
+    assert proc.returncode != 0
