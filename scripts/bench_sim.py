@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Timing-simulator throughput: multicore / coupled / pull-based models.
+
+Measures simulated-cycles-per-wall-second (and instructions/s) for the
+vectorized flat-array engine on the decoupled, coupled, pull-based and
+multicore models, plus cold-vs-warm compile time through the persistent
+program cache.  Results are merged into ``BENCH_throughput.json`` under
+the ``"sim"`` key (sub-schema ``repro.bench_sim/v1``) so
+``scripts/check_bench_regression.py`` can track them PR over PR
+alongside the garbling numbers.
+
+Usage::
+
+    python scripts/bench_sim.py                 # full circuits
+    python scripts/bench_sim.py --quick         # smoke-test lane
+    python scripts/bench_sim.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.core.compiler import OptLevel, compile_circuit  # noqa: E402
+from repro.core.progcache import ProgramCache  # noqa: E402
+from repro.sim.config import HaacConfig  # noqa: E402
+from repro.sim.coupled import coupled_runtime, pull_based_runtime  # noqa: E402
+from repro.sim.dram import HBM2  # noqa: E402
+from repro.sim.multicore import simulate_multicore  # noqa: E402
+from repro.sim.timing import simulate  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+SIM_SCHEMA = "repro.bench_sim/v1"
+
+
+def _best_of(repeats, fn):
+    best = None
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, value
+
+
+def measure_sim(quick: bool = False, repeats: int = 3) -> dict:
+    """Benchmark every timing model; returns the ``"sim"`` JSON section."""
+    relu_params = {"k": 32, "width": 8} if quick else {"k": 128, "width": 16}
+    config = HaacConfig(n_ges=4, sww_bytes=16 * 1024, dram=HBM2)
+    built = get_workload("ReLU").build(**relu_params)
+    circuit = built.circuit
+
+    compiled = compile_circuit(
+        circuit, config.window, config.n_ges,
+        opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+    )
+    streams = compiled.streams
+    n_instr = len(streams.program.instructions)
+
+    models = {}
+
+    seconds, sim = _best_of(repeats, lambda: simulate(streams, config))
+    models["decoupled"] = {
+        "seconds": seconds,
+        "instructions": n_instr,
+        "sim_cycles": float(sim.runtime_cycles),
+        "cycles_per_s": float(sim.runtime_cycles) / seconds,
+        "instr_per_s": n_instr / seconds,
+    }
+
+    seconds, coupled = _best_of(
+        repeats, lambda: coupled_runtime(streams, config, 1024)
+    )
+    models["coupled"] = {
+        "seconds": seconds,
+        "instructions": n_instr,
+        "sim_cycles": coupled.cycles,
+        "cycles_per_s": coupled.cycles / seconds,
+        "instr_per_s": n_instr / seconds,
+    }
+
+    seconds, pull = _best_of(repeats, lambda: pull_based_runtime(streams, config))
+    models["pull_based"] = {
+        "seconds": seconds,
+        "instructions": n_instr,
+        "sim_cycles": pull.cycles,
+        "cycles_per_s": pull.cycles / seconds,
+        "instr_per_s": n_instr / seconds,
+    }
+
+    # Multicore: compile-dominated, so report cold (empty cache) vs warm
+    # (second run against the same store) end-to-end times too.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        store = ProgramCache(cache_dir)
+        t0 = time.perf_counter()
+        result = simulate_multicore(circuit, config, n_cores=4, cache=store)
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        simulate_multicore(circuit, config, n_cores=4, cache=store)
+        warm = time.perf_counter() - t0
+    models["multicore"] = {
+        "seconds": warm,
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "warm_speedup": cold / warm if warm else float("inf"),
+        "instructions": n_instr,
+        "sim_cycles": result.runtime_cycles,
+        "cycles_per_s": result.runtime_cycles / warm,
+        "cache_stats": store.stats.as_dict(),
+    }
+
+    return {
+        "schema": SIM_SCHEMA,
+        "circuit": {
+            "name": circuit.name,
+            "gates": len(circuit.gates),
+            "instructions": n_instr,
+            "params": relu_params,
+        },
+        "models": models,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small circuit, one repeat"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_throughput.json",
+        help="report to merge the sim section into "
+        "(default: BENCH_throughput.json)",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.quick else args.repeats
+    section = measure_sim(quick=args.quick, repeats=repeats)
+
+    out_path = pathlib.Path(args.json)
+    if out_path.exists():
+        data = json.loads(out_path.read_text())
+    else:
+        data = {"schema": "repro.bench_throughput/v1"}
+    data["sim"] = section
+    out_path.write_text(json.dumps(data, indent=2) + "\n")
+
+    info = section["circuit"]
+    print(f"circuit {info['name']}: {info['gates']} gates, "
+          f"{info['instructions']} instructions")
+    for name, entry in section["models"].items():
+        line = (
+            f"  {name:>10}: {entry['cycles_per_s']:>14,.0f} sim cycles/s "
+            f"({entry['seconds'] * 1000:.2f} ms)"
+        )
+        if "warm_speedup" in entry:
+            line += (
+                f"  cold {entry['cold_seconds'] * 1000:.1f} ms -> warm "
+                f"{entry['warm_seconds'] * 1000:.1f} ms "
+                f"({entry['warm_speedup']:.1f}x)"
+            )
+        print(line)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

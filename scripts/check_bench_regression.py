@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Fail when a tracked benchmark metric regresses versus the baseline.
+
+Compares a freshly generated ``BENCH_throughput.json`` (from
+``scripts/bench_throughput.py`` and ``scripts/bench_sim.py``) against
+the committed baseline (``benchmarks/BENCH_baseline.json``) and exits
+non-zero if any tracked higher-is-better metric dropped more than the
+threshold (default 20%).
+
+Tracked metrics:
+
+* ``backends.<name>.garble.gates_per_s`` and ``.evaluate.gates_per_s``
+  -- garbling substrate throughput;
+* ``sim.models.<name>.cycles_per_s`` -- timing-simulator throughput per
+  model (decoupled / coupled / pull-based / multicore).
+
+Metrics present in the baseline but missing from the current report are
+also failures -- a silently dropped lane is how regressions hide.
+
+Usage::
+
+    python scripts/bench_throughput.py --json BENCH_throughput.json
+    python scripts/bench_sim.py        --json BENCH_throughput.json
+    python scripts/check_bench_regression.py BENCH_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "BENCH_baseline.json"
+)
+
+
+def tracked_metrics(report: dict) -> dict:
+    """Flatten the higher-is-better metrics of one report."""
+    metrics = {}
+    for backend, entry in report.get("backends", {}).items():
+        for phase in ("garble", "evaluate"):
+            value = entry.get(phase, {}).get("gates_per_s")
+            if value is not None:
+                metrics[f"backends.{backend}.{phase}.gates_per_s"] = value
+    for model, entry in report.get("sim", {}).get("models", {}).items():
+        value = entry.get("cycles_per_s")
+        if value is not None:
+            metrics[f"sim.models.{model}.cycles_per_s"] = value
+    return metrics
+
+
+def check(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Return a list of human-readable failures (empty = pass)."""
+    failures = []
+    current_metrics = tracked_metrics(current)
+    for name, base_value in sorted(tracked_metrics(baseline).items()):
+        if base_value <= 0:
+            continue
+        value = current_metrics.get(name)
+        if value is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        ratio = value / base_value
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"{name}: {value:,.0f} vs baseline {base_value:,.0f} "
+                f"({(1.0 - ratio) * 100:.1f}% regression, "
+                f"threshold {threshold * 100:.0f}%)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "current",
+        nargs="?",
+        default="BENCH_throughput.json",
+        help="freshly generated report (default: BENCH_throughput.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline report "
+        "(default: benchmarks/BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional drop before failing (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    current_path = pathlib.Path(args.current)
+    baseline_path = pathlib.Path(args.baseline)
+    if not current_path.exists():
+        print(f"current report {current_path} not found", file=sys.stderr)
+        return 2
+    if not baseline_path.exists():
+        print(f"baseline {baseline_path} not found", file=sys.stderr)
+        return 2
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    failures = check(current, baseline, args.threshold)
+    compared = len(tracked_metrics(baseline))
+    if failures:
+        print(f"REGRESSION: {len(failures)}/{compared} tracked metrics failed:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"ok: {compared} tracked metrics within {args.threshold * 100:.0f}% "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

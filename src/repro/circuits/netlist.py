@@ -315,6 +315,18 @@ class Circuit:
     # Convenience
     # ------------------------------------------------------------------
 
+    #: Per-instance memo attributes (and_level_schedule, progcache
+    #: digest, multicore partition).  Derivable from the netlist, so
+    #: they are dropped on pickle: cache entries stay lean and a stale
+    #: memo can never be revived from disk.
+    _MEMO_ATTRS = ("_and_schedule_cache", "_digest_cache", "_components_cache")
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for attr in self._MEMO_ATTRS:
+            state.pop(attr, None)
+        return state
+
     def producer_map(self) -> Dict[int, int]:
         """Map from output wire id to producing gate position."""
         return {gate.out: position for position, gate in enumerate(self.gates)}

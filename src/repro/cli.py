@@ -7,7 +7,12 @@ Subcommands:
 * ``compile``     -- run the compiler on a workload and report each
   configuration's schedule/traffic;
 * ``simulate``    -- timing-simulate a workload on a chosen design point;
-* ``protocol``    -- run the real two-party millionaires' demo.
+* ``protocol``    -- run the real two-party millionaires' demo;
+* ``cache``       -- inspect or clear the persistent compile cache.
+
+``compile`` and ``simulate`` accept ``--cache [DIR]`` to reuse compiled
+programs across invocations (warm sweeps skip the compiler); the
+``REPRO_PROG_CACHE`` environment variable does the same globally.
 """
 
 from __future__ import annotations
@@ -63,10 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl = sub.add_parser("workloads", help="list or inspect workloads")
     p_wl.add_argument("name", nargs="?", help="workload to inspect")
 
+    def add_cache_flag(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--cache",
+            nargs="?",
+            const="on",
+            default=None,
+            metavar="DIR",
+            help="persist compiled programs (default dir, or DIR); "
+            "falls back to $REPRO_PROG_CACHE when omitted",
+        )
+
     p_c = sub.add_parser("compile", help="compile a workload at every opt level")
     p_c.add_argument("name", choices=PAPER_ORDER)
     p_c.add_argument("--ges", type=int, default=16)
     p_c.add_argument("--sww-kb", type=int, default=64)
+    add_cache_flag(p_c)
 
     p_s = sub.add_parser("simulate", help="timing-simulate one design point")
     p_s.add_argument("name", choices=PAPER_ORDER)
@@ -78,6 +95,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--opt",
         choices=[opt.value for opt in OptLevel],
         default=OptLevel.RO_RN_ESW.value,
+    )
+    add_cache_flag(p_s)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent compile cache"
+    )
+    p_cache.add_argument(
+        "action", choices=["info", "clear"], nargs="?", default="info"
+    )
+    p_cache.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: $REPRO_PROG_CACHE or "
+        "~/.cache/repro/progcache)",
     )
 
     p_p = sub.add_parser("protocol", help="run the two-party millionaires demo")
@@ -162,7 +193,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     for opt in OptLevel:
         result = compile_circuit(
             built.circuit, config.window, config.n_ges,
-            opt=opt, params=config.schedule_params(),
+            opt=opt, params=config.schedule_params(), cache=args.cache,
         )
         live, oor, total = result.streams.wire_traffic_wires()
         rows.append([
@@ -188,6 +219,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     result = compile_circuit(
         built.circuit, config.window, config.n_ges,
         opt=OptLevel(args.opt), params=config.schedule_params(),
+        cache=args.cache,
     )
     sim = simulate(result.streams, config)
     rows = [[key, value] for key, value in sim.summary().items()]
@@ -222,6 +254,26 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
     print(f"richer: {richer}")
     print(f"gates: {len(circuit.gates)} ({result.and_gates} garbled tables)")
     print(f"bytes exchanged: {result.total_bytes}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .core.progcache import ProgramCache, default_cache_dir, resolve_cache
+
+    if args.dir is not None:
+        store = ProgramCache(args.dir)
+    else:
+        store = resolve_cache(None) or ProgramCache(default_cache_dir())
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached programs from {store.root}")
+        return 0
+    rows = [
+        ["directory", str(store.root)],
+        ["entries", store.entry_count()],
+        ["size (KB)", f"{store.size_bytes() / 1024:.1f}"],
+    ]
+    print(render_table(["Property", "Value"], rows, title="compile cache"))
     return 0
 
 
@@ -288,6 +340,7 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "simulate": _cmd_simulate,
     "protocol": _cmd_protocol,
+    "cache": _cmd_cache,
     "figures": _cmd_figures,
 }
 

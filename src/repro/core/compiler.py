@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..circuits.netlist import Circuit
 from .assembler import LoweredCircuit, assemble
@@ -32,9 +33,15 @@ from .passes.rename import rename
 from .passes.reorder import depth_first_order, full_reorder, segment_reorder
 from .passes.streams import ScheduleParams, StreamSet, generate_streams
 from .program import HaacProgram
+from .progcache import ProgramCache, compile_key, resolve_cache
 from .sww import SlidingWindow
 
 __all__ = ["OptLevel", "CompileResult", "compile_circuit", "compile_best"]
+
+#: Anything accepted as the ``cache`` argument of :func:`compile_circuit`:
+#: an explicit store, a directory path, True/False (default dir / off),
+#: or None to defer to the ``REPRO_PROG_CACHE`` environment variable.
+CacheSpec = Union[ProgramCache, str, Path, bool, None]
 
 
 class OptLevel(enum.Enum):
@@ -83,6 +90,7 @@ def compile_circuit(
     params: Optional[ScheduleParams] = None,
     segment_size: Optional[int] = None,
     verify: bool = False,
+    cache: CacheSpec = None,
 ) -> CompileResult:
     """Compile ``circuit`` for a HAAC with ``n_ges`` GEs and ``window``.
 
@@ -91,7 +99,25 @@ def compile_circuit(
     ``verify=True`` the static stream verifier
     (:func:`repro.core.verify.verify_streams`) re-checks every co-design
     invariant before returning.
+
+    ``cache`` enables the persistent compiled-program store
+    (:mod:`repro.core.progcache`): on a warm hit the pickled result is
+    returned without running any pass.  ``None`` (the default) defers to
+    the ``REPRO_PROG_CACHE`` environment variable, so sweeps opt in
+    without threading a parameter through every call site.
     """
+    store = resolve_cache(cache)
+    key = None
+    if store is not None:
+        key = compile_key(circuit, window.capacity, n_ges, opt, params, segment_size)
+        cached = store.get(key)
+        if cached is not None:
+            if verify:
+                from .verify import verify_streams
+
+                verify_streams(cached.streams)
+            return cached
+
     program, lowered = assemble(circuit)
     passes = list(program.applied_passes)
 
@@ -123,7 +149,7 @@ def compile_circuit(
         from .verify import verify_streams
 
         verify_streams(streams)
-    return CompileResult(
+    result = CompileResult(
         program=program,
         lowered=lowered,
         streams=streams,
@@ -131,6 +157,9 @@ def compile_circuit(
         opt=opt,
         esw_report=esw_report,
     )
+    if store is not None and key is not None:
+        store.put(key, result)
+    return result
 
 
 def compile_best(
@@ -139,18 +168,19 @@ def compile_best(
     n_ges: int,
     score: Callable[[CompileResult], float],
     params: Optional[ScheduleParams] = None,
+    cache: CacheSpec = None,
 ) -> Tuple[CompileResult, Dict[OptLevel, float]]:
     """Compile with both reorderings (ESW on) and keep the better one.
 
     The paper: "In practice, we can run both and deploy the best
     performing optimization, as performance is deterministic."  ``score``
     maps a result to a cost (lower is better), typically simulated
-    runtime.
+    runtime.  ``cache`` is forwarded to :func:`compile_circuit`.
     """
     scores: Dict[OptLevel, float] = {}
     best: Optional[CompileResult] = None
     for opt in (OptLevel.RO_RN_ESW, OptLevel.SEG_RN_ESW):
-        result = compile_circuit(circuit, window, n_ges, opt, params)
+        result = compile_circuit(circuit, window, n_ges, opt, params, cache=cache)
         scores[opt] = score(result)
         if best is None or scores[opt] < scores[best.opt]:
             best = result

@@ -1,0 +1,386 @@
+"""Persistent on-disk cache of compiled HAAC programs.
+
+Sweeping the timing model across cores, queue sizes and opt levels
+recompiles identical (circuit, window, n_ges, opt) tuples on every
+sweep point; for the large stdlib circuits compilation dominates the
+wall time.  This module keys each :class:`CompileResult` by a stable
+content digest and stores the pickled result under a cache directory so
+warm runs skip the compiler entirely.
+
+Key derivation (see :func:`compile_key`)::
+
+    sha256(schema | circuit digest | window capacity | n_ges |
+           opt level | schedule params | segment size)
+
+where the circuit digest (:func:`circuit_digest`) covers the netlist
+content -- input counts, outputs, every gate's (op, a, b, out) -- plus
+the circuit name (cached results carry the name into reports).  The
+digest is independent of Python hash randomization, so it is stable
+across process restarts; ``CACHE_SCHEMA`` is baked into every key so a
+compiler-behaviour change invalidates old entries by bumping one
+constant.
+
+Store location, in priority order:
+
+1. an explicit :class:`ProgramCache` / path handed to
+   :func:`repro.core.compiler.compile_circuit` (or
+   ``HaacConfig.prog_cache`` for the sim-layer helpers);
+2. the ``REPRO_PROG_CACHE`` environment variable -- a directory path,
+   ``1``/``on`` for the default location, ``0``/``off`` to disable;
+3. disabled (the default: library code never writes to the user's
+   home directory unless asked).
+
+The default location is ``~/.cache/repro/progcache``.  Corrupted or
+truncated entries are never fatal: the loader drops the file, counts a
+``corrupt`` and falls back to recompilation.  Per-store hit/miss/put
+counters (:class:`CacheStats`) let tests assert warm-run behaviour.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+from array import array
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+from ..circuits.netlist import Circuit, GateOp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (compiler imports us)
+    from .compiler import CompileResult, OptLevel
+    from .passes.streams import ScheduleParams
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "ProgramCache",
+    "circuit_digest",
+    "compile_key",
+    "shard_key",
+    "default_cache_dir",
+    "resolve_cache",
+]
+
+CACHE_ENV_VAR = "REPRO_PROG_CACHE"
+#: Bump whenever compiler output for an unchanged key could change.
+CACHE_SCHEMA = 1
+
+_OFF_VALUES = ("0", "off", "none", "disabled", "false", "no")
+_ON_VALUES = ("1", "on", "default", "true", "yes", "auto")
+
+_GATE_OP_CODE = {GateOp.AND: 0, GateOp.XOR: 1, GateOp.INV: 2}
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME``-respecting default store location."""
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "progcache"
+
+
+def circuit_digest(circuit: Circuit) -> str:
+    """Stable SHA-256 content digest of a netlist.
+
+    Covers input counts, output wires, the full gate list and the
+    circuit name; canonical little-endian encoding, so equal circuits
+    digest equally on any platform and across process restarts.
+
+    The digest is memoized on the instance (netlists are immutable
+    after construction: every compiler pass returns a new ``Circuit``),
+    keyed by the gate/output counts as a cheap tamper tripwire.
+    """
+    cached = getattr(circuit, "_digest_cache", None)
+    if cached is not None:
+        n_gates, n_outputs, digest = cached
+        if n_gates == len(circuit.gates) and n_outputs == len(circuit.outputs):
+            return digest
+    h = hashlib.sha256()
+    h.update(b"repro.circuit/v1\0")
+    h.update(circuit.name.encode("utf-8"))
+    h.update(b"\0")
+    flat = [
+        circuit.n_garbler_inputs,
+        circuit.n_evaluator_inputs,
+        len(circuit.outputs),
+        len(circuit.gates),
+    ]
+    flat.extend(circuit.outputs)
+    for gate in circuit.gates:
+        flat.append(_GATE_OP_CODE[gate.op])
+        flat.append(gate.a)
+        flat.append(gate.b)
+        flat.append(gate.out)
+    packed = array("q", flat)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        packed.byteswap()
+    h.update(packed.tobytes())
+    digest = h.hexdigest()
+    circuit._digest_cache = (len(circuit.gates), len(circuit.outputs), digest)
+    return digest
+
+
+def compile_key(
+    circuit: Circuit,
+    window_capacity: int,
+    n_ges: int,
+    opt: "OptLevel",
+    params: Optional["ScheduleParams"] = None,
+    segment_size: Optional[int] = None,
+) -> str:
+    """Cache key for one ``compile_circuit`` invocation.
+
+    ``params=None`` and ``segment_size=None`` are normalised to the
+    compiler's effective defaults (Evaluator latencies, half the SWW)
+    so explicit-default and implicit-default calls share one entry.
+    """
+    from .passes.streams import ScheduleParams
+
+    effective = params or ScheduleParams.evaluator()
+    effective_segment = segment_size or window_capacity // 2
+    h = hashlib.sha256()
+    h.update(
+        "|".join(
+            (
+                f"repro.progcache/v{CACHE_SCHEMA}",
+                circuit_digest(circuit),
+                str(window_capacity),
+                str(n_ges),
+                opt.value,
+                str(effective.and_latency),
+                str(effective.xor_latency),
+                str(effective.cross_ge_forward),
+                str(effective_segment),
+            )
+        ).encode("ascii")
+    )
+    return h.hexdigest()
+
+
+def shard_key(
+    parent_digest: str,
+    positions,
+    window_capacity: int,
+    n_ges: int,
+    opt: "OptLevel",
+    params: Optional["ScheduleParams"] = None,
+) -> str:
+    """Cache key for one multicore shard compile.
+
+    Keyed by the *parent* circuit digest plus the shard's gate
+    positions instead of the shard netlist itself, so a warm sweep can
+    look up the compiled shard without even rebuilding the shard
+    circuit.  Valid because shard extraction
+    (:func:`repro.sim.multicore._shard_circuit`) is a deterministic
+    function of (parent, positions); a change to that algorithm must
+    bump ``CACHE_SCHEMA`` like any other compiler-behaviour change.
+    """
+    from .passes.streams import ScheduleParams
+
+    effective = params or ScheduleParams.evaluator()
+    h = hashlib.sha256()
+    h.update(
+        "|".join(
+            (
+                f"repro.progcache.shard/v{CACHE_SCHEMA}",
+                parent_digest,
+                str(window_capacity),
+                str(n_ges),
+                opt.value,
+                str(effective.and_latency),
+                str(effective.xor_latency),
+                str(effective.cross_ge_forward),
+            )
+        ).encode("ascii")
+    )
+    packed = array("q", sorted(positions))
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        packed.byteswap()
+    h.update(packed.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one store; ``corrupt`` entries also count as misses."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "puts": self.puts,
+        }
+
+
+class ProgramCache:
+    """Directory-backed pickle store of :class:`CompileResult` objects.
+
+    A process-local memory layer fronts the disk store (``memory=True``,
+    the default): repeated gets of one key -- a sweep re-simulating the
+    same compile at many design points -- skip unpickling and *share
+    one result object*.  Compile results are treated as immutable
+    everywhere (the per-instance schedule/array memos only ever add
+    derived data), so sharing is safe; pass ``memory=False`` for
+    fully independent copies per get.
+    """
+
+    def __init__(self, root: Union[str, Path], memory: bool = True) -> None:
+        self.root = Path(root).expanduser()
+        self.stats = CacheStats()
+        self._memory: Optional[Dict[str, "CompileResult"]] = (
+            {} if memory else None
+        )
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional["CompileResult"]:
+        """Load a cached result, or None on miss or corruption.
+
+        A corrupted/truncated/stale entry is removed and reported as a
+        miss (plus a ``corrupt`` count) -- the caller simply recompiles;
+        the cache never raises on bad content.
+        """
+        if self._memory is not None:
+            resident = self._memory.get(key)
+            if resident is not None:
+                self.stats.hits += 1
+                return resident
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+            # Compiled programs unpickle to tens of thousands of small
+            # objects; keeping the cyclic collector out of the loop is
+            # a large constant-factor win on warm loads.
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                payload = pickle.loads(data)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            schema = payload["schema"]
+            stored_key = payload["key"]
+            result = payload["result"]
+            if schema != CACHE_SCHEMA or stored_key != key:
+                raise ValueError("schema or key mismatch")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        if self._memory is not None:
+            self._memory[key] = result
+        return result
+
+    def put(self, key: str, result: "CompileResult") -> None:
+        """Atomically persist ``result`` (best-effort: IO errors are
+        swallowed -- a failed put only costs a future recompile)."""
+        if self._memory is not None:
+            self._memory[key] = result
+        payload = {"schema": CACHE_SCHEMA, "key": key, "result": result}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=f".{key[:16]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, self.path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self.stats.puts += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        if self._memory is not None:
+            self._memory.clear()
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entry_count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def size_bytes(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(path.stat().st_size for path in self.root.glob("*.pkl"))
+
+
+#: One store instance per resolved directory, so hit/miss counters
+#: accumulate process-wide no matter which layer resolved the cache.
+_INSTANCES: Dict[str, ProgramCache] = {}
+
+
+def _store_for(path: Union[str, Path]) -> ProgramCache:
+    resolved = str(Path(path).expanduser().resolve())
+    store = _INSTANCES.get(resolved)
+    if store is None:
+        store = ProgramCache(resolved)
+        _INSTANCES[resolved] = store
+    return store
+
+
+def resolve_cache(
+    spec: Union["ProgramCache", str, bool, Path, None] = None,
+) -> Optional[ProgramCache]:
+    """Resolve a cache spec (see the module docstring) to a store.
+
+    ``None`` defers to ``REPRO_PROG_CACHE``; booleans and the on/off
+    keyword strings force-enable (default directory) or disable; any
+    other string is a directory path.
+    """
+    if isinstance(spec, ProgramCache):
+        return spec
+    if spec is None:
+        env = os.environ.get(CACHE_ENV_VAR, "").strip()
+        if not env or env.lower() in _OFF_VALUES:
+            return None
+        if env.lower() in _ON_VALUES:
+            return _store_for(default_cache_dir())
+        return _store_for(env)
+    if spec is False:
+        return None
+    if spec is True:
+        return _store_for(default_cache_dir())
+    text = str(spec).strip()
+    if not text or text.lower() in _OFF_VALUES:
+        return None
+    if text.lower() in _ON_VALUES:
+        return _store_for(default_cache_dir())
+    return _store_for(text)

@@ -20,6 +20,16 @@ safe-prime group.  That is large enough to exercise the real modular
 arithmetic but far below deployment parameter sizes; this reproduction
 targets functional completeness, not cryptographic strength.  The KDF is
 a Davies-Meyer construction over the from-scratch AES.
+
+BATCHING: the evaluator (receiver) runs one OT per input bit, and both
+of Bob's group operations are fixed-base exponentiations -- ``g^b`` for
+the point, ``A^b`` for the pad.  ``choose_batch``/``decrypt_batch``
+therefore precompute the ``base^(2^i)`` square chain once per batch and
+reduce every per-bit exponentiation to bare multiplications: one
+squaring pass over all choice bits instead of one full square-and-
+multiply per bit.  The batched path draws the same PRG stream and
+computes the same group elements, so transcripts are bit-identical to
+the per-bit path (asserted by the test suite).
 """
 
 from __future__ import annotations
@@ -32,6 +42,8 @@ from .rng import MASK_128, LabelPrg
 
 __all__ = ["OtSender", "OtReceiver", "run_ot", "run_ot_batch", "GROUP_P", "GROUP_G"]
 
+_EXPONENT_BITS = 256  # receiver secrets are drawn as next_bits(256)
+
 # 512-bit safe prime p = 2q + 1 (RFC 2409 Oakley Group 1) and generator.
 GROUP_P = int(
     "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
@@ -41,6 +53,46 @@ GROUP_P = int(
 )
 GROUP_G = 2
 _GROUP_Q = (GROUP_P - 1) // 2
+
+
+class _FixedBaseTable:
+    """Precomputed ``base^(2^i) mod p`` chain for batch exponentiation.
+
+    Building the table costs the same ~``bits`` squarings one ordinary
+    exponentiation spends; afterwards each ``pow(exponent)`` is only the
+    multiplications for the exponent's set bits.  Amortized over a batch
+    of choice bits this is the "one exponentiation pass" the evaluator
+    side uses.
+    """
+
+    def __init__(self, base: int, modulus: int, bits: int = _EXPONENT_BITS) -> None:
+        self.modulus = modulus
+        powers = []
+        value = base % modulus
+        for _ in range(bits):
+            powers.append(value)
+            value = value * value % modulus
+        self.powers = powers
+
+    def pow(self, exponent: int) -> int:
+        """``base ** exponent mod p`` using only multiplications."""
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        result = 1
+        modulus = self.modulus
+        powers = self.powers
+        index = 0
+        while exponent:
+            if index >= len(powers):  # extend the chain for wide exponents
+                powers.append(powers[-1] * powers[-1] % modulus)
+            if exponent & 1:
+                result = result * powers[index] % modulus
+            exponent >>= 1
+            index += 1
+        return result
+
+    def pow_batch(self, exponents: Sequence[int]) -> List[int]:
+        return [self.pow(exponent) for exponent in exponents]
 
 
 def _kdf(point: int, tweak: int) -> int:
@@ -63,6 +115,9 @@ class OtSender:
     def __post_init__(self) -> None:
         self._a = (self.prg.next_bits(256) % (_GROUP_Q - 1)) + 1
         self.public = pow(GROUP_G, self._a, GROUP_P)
+        # B / A = B * A^{-1}; Fermat inversion since p is prime.  One
+        # inversion per batch (it only depends on the ephemeral key).
+        self._a_inv = pow(self.public, GROUP_P - 2, GROUP_P)
 
     def encrypt(
         self, index: int, b_point: int, message0: int, message1: int
@@ -71,9 +126,7 @@ class OtSender:
         if not 0 < b_point < GROUP_P:
             raise ValueError("invalid receiver point")
         shared0 = pow(b_point, self._a, GROUP_P)
-        # B / A = B * A^{-1}; Fermat inversion since p is prime.
-        a_inv = pow(self.public, GROUP_P - 2, GROUP_P)
-        shared1 = pow(b_point * a_inv % GROUP_P, self._a, GROUP_P)
+        shared1 = pow(b_point * self._a_inv % GROUP_P, self._a, GROUP_P)
         k0 = _kdf(shared0, 2 * index)
         k1 = _kdf(shared1, 2 * index + 1)
         return message0 ^ k0, message1 ^ k1
@@ -81,7 +134,14 @@ class OtSender:
 
 @dataclass
 class OtReceiver:
-    """Bob's side: one point per choice bit."""
+    """Bob's side: one point per choice bit.
+
+    ``choose``/``decrypt`` are the per-bit reference path (one builtin
+    ``pow`` per group op); ``choose_batch``/``decrypt_batch`` share the
+    fixed-base square chains of ``g`` and ``A`` across the whole batch.
+    Both paths draw the same PRG stream and compute the same group
+    elements, so their transcripts are interchangeable.
+    """
 
     prg: LabelPrg
     sender_public: int
@@ -96,12 +156,60 @@ class OtReceiver:
             point = point * self.sender_public % GROUP_P
         return point, b
 
+    def choose_batch(self, choices: Sequence[int]) -> List[Tuple[int, int]]:
+        """Batched ``choose``: one squaring pass for all choice bits."""
+        for choice in choices:
+            if choice not in (0, 1):
+                raise ValueError("choice must be a bit")
+        # Same PRG draw order as repeated choose() calls.
+        secrets = [
+            (self.prg.next_bits(256) % (_GROUP_Q - 1)) + 1 for _ in choices
+        ]
+        points = self._g_table().pow_batch(secrets)
+        for index, choice in enumerate(choices):
+            if choice:
+                points[index] = points[index] * self.sender_public % GROUP_P
+        return list(zip(points, secrets))
+
     def decrypt(
         self, index: int, choice: int, secret: int, cipher0: int, cipher1: int
     ) -> int:
         shared = pow(self.sender_public, secret, GROUP_P)
         pad = _kdf(shared, 2 * index + choice)
         return (cipher1 if choice else cipher0) ^ pad
+
+    def decrypt_batch(
+        self,
+        choices: Sequence[int],
+        secrets: Sequence[int],
+        cipher_pairs: Sequence[Tuple[int, int]],
+        start_index: int = 0,
+    ) -> List[int]:
+        """Batched ``decrypt`` for OTs ``start_index ..`` onwards."""
+        if not (len(choices) == len(secrets) == len(cipher_pairs)):
+            raise ValueError("choices, secrets and ciphertexts must align")
+        shareds = self._a_table().pow_batch(secrets)
+        messages = []
+        for offset, (choice, shared, (cipher0, cipher1)) in enumerate(
+            zip(choices, shareds, cipher_pairs)
+        ):
+            pad = _kdf(shared, 2 * (start_index + offset) + choice)
+            messages.append((cipher1 if choice else cipher0) ^ pad)
+        return messages
+
+    def _g_table(self) -> _FixedBaseTable:
+        table = getattr(self, "_g_table_cache", None)
+        if table is None:
+            table = _FixedBaseTable(GROUP_G, GROUP_P)
+            object.__setattr__(self, "_g_table_cache", table)
+        return table
+
+    def _a_table(self) -> _FixedBaseTable:
+        table = getattr(self, "_a_table_cache", None)
+        if table is None:
+            table = _FixedBaseTable(self.sender_public, GROUP_P)
+            object.__setattr__(self, "_a_table_cache", table)
+        return table
 
 
 def run_ot(
@@ -114,14 +222,20 @@ def run_ot(
 def run_ot_batch(
     pairs: Sequence[Tuple[int, int]], choices: Sequence[int], seed: int = 0
 ) -> List[int]:
-    """Run a batch of OTs, one per (message pair, choice bit)."""
+    """Run a batch of OTs, one per (message pair, choice bit).
+
+    Uses the receiver's batched fixed-base path; transcripts match the
+    per-bit ``choose``/``decrypt`` sequence exactly.
+    """
     if len(pairs) != len(choices):
         raise ValueError("pairs and choices must align")
     sender = OtSender(LabelPrg(seed))
     receiver = OtReceiver(LabelPrg(seed + 1), sender.public)
-    received = []
-    for index, ((m0, m1), choice) in enumerate(zip(pairs, choices)):
-        point, secret = receiver.choose(choice)
-        c0, c1 = sender.encrypt(index, point, m0, m1)
-        received.append(receiver.decrypt(index, choice, secret, c0, c1))
-    return received
+    points_and_secrets = receiver.choose_batch(choices)
+    cipher_pairs = [
+        sender.encrypt(index, point, m0, m1)
+        for index, ((m0, m1), (point, _)) in enumerate(zip(pairs, points_and_secrets))
+    ]
+    return receiver.decrypt_batch(
+        choices, [secret for _, secret in points_and_secrets], cipher_pairs
+    )

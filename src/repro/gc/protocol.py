@@ -103,7 +103,9 @@ class TwoPartySession:
         down.send("ot_public", sender.public, _GROUP_BYTES)
         receiver = OtReceiver(LabelPrg(self.seed + 0xB0B), down.recv("ot_public"))
 
-        points_and_secrets = [receiver.choose(bit) for bit in evaluator_bits]
+        # Batched fixed-base OT: one squaring pass for all of Bob's
+        # choice bits (transcript-identical to per-bit choose calls).
+        points_and_secrets = receiver.choose_batch(evaluator_bits)
         up.send(
             "ot_points",
             [point for point, _ in points_and_secrets],
@@ -141,12 +143,11 @@ class TwoPartySession:
         tables = down.recv("tables")
         decode_bits = down.recv("decode")
         bob_alice_labels = down.recv("garbler_labels")
-        bob_labels = [
-            receiver.decrypt(index, bit, secret, c0, c1)
-            for index, (bit, (_, secret), (c0, c1)) in enumerate(
-                zip(evaluator_bits, points_and_secrets, bob_ciphers)
-            )
-        ]
+        bob_labels = receiver.decrypt_batch(
+            list(evaluator_bits),
+            [secret for _, secret in points_and_secrets],
+            bob_ciphers,
+        )
         input_labels = list(bob_alice_labels) + bob_labels
         garbled_for_bob = type(garbled)(
             tables=tables,

@@ -3,6 +3,12 @@
 from .config import INSTR_BYTES, OOR_ADDR_BYTES, TABLE_BYTES, HaacConfig, Role
 from .coupled import CoupledResult, coupled_runtime, pull_based_runtime
 from .dram import DDR4, HBM2, BandwidthLedger, DramSpec
+from .engine import (
+    ENGINE_ENV_VAR,
+    CompiledArrays,
+    compiled_arrays,
+    engine_mode,
+)
 from .functional import FunctionalRun, HaacMachineError, run_functional
 from .ge import GePipelineModel
 from .multicore import MulticoreResult, partition_components, simulate_multicore
@@ -11,6 +17,10 @@ from .stats import SimResult, StallBreakdown
 from .timing import compute_traffic, simulate
 
 __all__ = [
+    "ENGINE_ENV_VAR",
+    "CompiledArrays",
+    "compiled_arrays",
+    "engine_mode",
     "coupled_runtime",
     "pull_based_runtime",
     "CoupledResult",

@@ -60,6 +60,12 @@ class HaacConfig:
     # when NumPy is absent).  The REPRO_GC_BACKEND environment variable
     # overrides "auto" resolution.
     gc_backend: "str | None" = None
+    # Persistent compiled-program cache for sim-layer helpers that
+    # compile internally (simulate_multicore, run_haac sweeps): None
+    # defers to the REPRO_PROG_CACHE environment variable, True uses
+    # the default ~/.cache/repro/progcache store, False disables, a
+    # string is a directory path (see repro.core.progcache).
+    prog_cache: "str | bool | None" = None
 
     def __post_init__(self) -> None:
         if self.n_ges < 1:
@@ -109,6 +115,9 @@ class HaacConfig:
 
     def with_gc_backend(self, gc_backend: "str | None") -> "HaacConfig":
         return self._replace(gc_backend=gc_backend)
+
+    def with_prog_cache(self, prog_cache: "str | bool | None") -> "HaacConfig":
+        return self._replace(prog_cache=prog_cache)
 
     def _replace(self, **changes) -> "HaacConfig":
         from dataclasses import replace

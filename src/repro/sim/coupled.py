@@ -17,6 +17,10 @@ by simulating the counterfactuals:
 
 Both reuse the exact same streams and byte accounting as
 :mod:`repro.sim.timing`, so the three models are directly comparable.
+Like the decoupled model, the replay runs on the shared flat-array
+engine (:mod:`repro.sim.engine`); ``REPRO_SIM_ENGINE=reference``
+selects the retained per-gate loops, which the equivalence suite diffs
+against the vectorized path.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from ..core.isa import HaacOp
 from ..core.passes.streams import StreamSet
 from ..core.sww import WIRE_BYTES
 from .config import OOR_ADDR_BYTES, TABLE_BYTES, HaacConfig
+from .engine import ENGINE_REFERENCE, compiled_arrays, engine_mode
 from .timing import compute_traffic, simulate
 
 __all__ = ["CoupledResult", "coupled_runtime", "pull_based_runtime", "DRAM_LATENCY_CYCLES"]
@@ -58,7 +63,12 @@ class CoupledResult:
 
 
 def _per_instruction_bytes(streams: StreamSet, config: HaacConfig) -> list[float]:
-    """Prefetch bytes each instruction consumes, in program order."""
+    """Prefetch bytes each instruction consumes, in program order.
+
+    Reference formulation: walks the per-GE stream dataclasses through a
+    position index.  The vectorized path computes the same values from
+    :class:`CompiledArrays`; both must stay cost-identical.
+    """
     program = streams.program
     costs = []
     oor_cost = WIRE_BYTES + OOR_ADDR_BYTES
@@ -99,26 +109,64 @@ def coupled_runtime(
     )
     decoupled = simulate(streams, config)
     bandwidth = config.dram_bytes_per_ge_cycle
-
-    costs = _per_instruction_bytes(streams, config)
     program = streams.program
-
-    # Issue replay with the extra prefetch constraint.
-    prefix = 0.0
     input_bytes = program.n_inputs * WIRE_BYTES
-    stall = 0.0
-    finish = 0.0
-    issue_shift = 0.0
-    for position, base_issue in enumerate(streams.issue_cycle):
-        prefix += costs[position]
-        # The bytes for this instruction (minus the credit window) must
-        # have streamed in before it can issue.
-        fill_time = (input_bytes + prefix - queue_bytes) / bandwidth
-        issue = max(base_issue, fill_time)
-        stall += issue - base_issue
-        instr = program.instructions[position]
-        latency = config.and_latency if instr.op is HaacOp.AND else config.xor_latency
-        finish = max(finish, issue + latency + config.writeback_stages)
+
+    if engine_mode() == ENGINE_REFERENCE:
+        costs = _per_instruction_bytes(streams, config)
+        # Issue replay with the extra prefetch constraint.
+        prefix = 0.0
+        stall = 0.0
+        finish = 0.0
+        for position, base_issue in enumerate(streams.issue_cycle):
+            prefix += costs[position]
+            # The bytes for this instruction (minus the credit window)
+            # must have streamed in before it can issue.
+            fill_time = (input_bytes + prefix - queue_bytes) / bandwidth
+            issue = max(base_issue, fill_time)
+            stall += issue - base_issue
+            instr = program.instructions[position]
+            latency = (
+                config.and_latency if instr.op is HaacOp.AND else config.xor_latency
+            )
+            finish = max(finish, issue + latency + config.writeback_stages)
+    else:
+        arrays = compiled_arrays(streams)
+        oor_cost = WIRE_BYTES + OOR_ADDR_BYTES
+        instr_bytes = float(config.instr_bytes)
+        and_latency = config.and_latency
+        xor_latency = config.xor_latency
+        writeback = config.writeback_stages
+        issue_cycle = arrays.issue_cycle
+        is_and = arrays.is_and
+        live = arrays.live
+        oor_a = arrays.oor_a
+        oor_b = arrays.oor_b
+        prefix = 0.0
+        stall = 0.0
+        finish = 0.0
+        for position in range(arrays.n_instructions):
+            cost = instr_bytes
+            and_flag = is_and[position]
+            if and_flag:
+                cost += TABLE_BYTES
+            if oor_a[position]:
+                cost += oor_cost
+            if oor_b[position]:
+                cost += oor_cost
+            if live[position]:
+                cost += WIRE_BYTES
+            prefix += cost
+            # Same float-op order as the reference path so the two
+            # engines stay bit-identical.
+            fill_time = (input_bytes + prefix - queue_bytes) / bandwidth
+            base_issue = issue_cycle[position]
+            issue = base_issue if base_issue > fill_time else fill_time
+            stall += issue - base_issue
+            latency = and_latency if and_flag else xor_latency
+            done = issue + latency + writeback
+            if done > finish:
+                finish = done
 
     # Aggregate bandwidth still bounds the whole execution.
     cycles = max(finish, decoupled.traffic_cycles)
@@ -144,9 +192,14 @@ def pull_based_runtime(
     Serialisation is per GE: misses on different GEs overlap.
     """
     decoupled = simulate(streams, config)
-    per_ge_miss_cycles = [
-        miss_latency * len(ge.oor_addresses) for ge in streams.ges
-    ]
+    if engine_mode() == ENGINE_REFERENCE:
+        per_ge_miss_cycles = [
+            miss_latency * len(ge.oor_addresses) for ge in streams.ges
+        ]
+    else:
+        per_ge_miss_cycles = [
+            miss_latency * count for count in compiled_arrays(streams).oor_per_ge
+        ]
     extra = max(per_ge_miss_cycles) if per_ge_miss_cycles else 0
     cycles = max(decoupled.compute_cycles + extra, decoupled.traffic_cycles)
     return CoupledResult(

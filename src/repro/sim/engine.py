@@ -1,0 +1,365 @@
+"""Shared flat-array execution engine for all timing models.
+
+PR 1 rewrote the decoupled timing model's hot loop
+(:func:`repro.sim.timing.simulate`) on preallocated parallel arrays and
+measured 1.5-2.3x; this module hoists that machinery out of
+``timing.py`` so the coupled, pull-based and multicore models consume
+the *same* compiled representation instead of re-walking dataclasses
+per gate.
+
+Two ingredients:
+
+* :class:`CompiledArrays` -- every per-instruction attribute a timing
+  model needs (operand wires, GE assignment, AND flags, OoR flags, live
+  bits, per-GE OoR counts), flattened once per :class:`StreamSet` and
+  memoized on it.  The arrays are config-independent; latencies and
+  byte costs are derived per :class:`HaacConfig` at simulation time.
+* An engine switch -- ``REPRO_SIM_ENGINE=reference`` selects the
+  straightforward per-gate replay (dataclass attribute walks, dicts)
+  retained verbatim as the ground truth the equivalence suite diffs the
+  vectorized loops against.  The default (``vectorized``) is the
+  flat-array path.  Both produce bit-identical cycle counts and stall
+  breakdowns.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.isa import HaacOp
+from ..core.passes.streams import StreamSet
+from .config import HaacConfig
+from .stats import StallBreakdown
+
+__all__ = [
+    "ENGINE_ENV_VAR",
+    "ENGINE_REFERENCE",
+    "ENGINE_VECTORIZED",
+    "CompiledArrays",
+    "engine_mode",
+    "compiled_arrays",
+    "compute_cycles",
+    "compute_cycles_vectorized",
+    "compute_cycles_reference",
+]
+
+ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+ENGINE_VECTORIZED = "vectorized"
+ENGINE_REFERENCE = "reference"
+_ARRAYS_ATTR = "_engine_arrays"
+
+
+def engine_mode() -> str:
+    """Active engine, resolved from ``REPRO_SIM_ENGINE`` at call time.
+
+    ``vectorized`` (default, also accepts ``flat``/``fast``) runs the
+    preallocated array loops; ``reference`` replays the retained
+    per-gate paths so tests can diff the two.
+    """
+    raw = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+    if raw in ("", ENGINE_VECTORIZED, "flat", "fast"):
+        return ENGINE_VECTORIZED
+    if raw in (ENGINE_REFERENCE, "ref", "slow"):
+        return ENGINE_REFERENCE
+    raise ValueError(
+        f"unknown {ENGINE_ENV_VAR}={raw!r}; expected "
+        f"'{ENGINE_VECTORIZED}' or '{ENGINE_REFERENCE}'"
+    )
+
+
+@dataclass
+class CompiledArrays:
+    """Config-independent flat arrays for one compiled :class:`StreamSet`.
+
+    Index ``p`` of every list corresponds to instruction ``p`` in
+    program order (the ISA writes wire ``n_inputs + p``).  ``oor_a`` /
+    ``oor_b`` are the stream generator's per-GE OoR flags scattered back
+    to program order; ``oor_per_ge`` counts each GE's OoRW queue length.
+    """
+
+    n_inputs: int
+    n_wires: int
+    n_ges: int
+    capacity: int
+    a_of: List[int]
+    b_of: List[int]
+    ge_of: List[int]
+    is_and: List[bool]
+    live: List[bool]
+    oor_a: List[bool]
+    oor_b: List[bool]
+    issue_cycle: List[int]
+    oor_per_ge: List[int]
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.a_of)
+
+    def latencies(self, config: HaacConfig) -> List[int]:
+        """Per-instruction execution latency under ``config``'s role."""
+        and_latency = config.and_latency
+        xor_latency = config.xor_latency
+        return [and_latency if flag else xor_latency for flag in self.is_and]
+
+
+def compiled_arrays(streams: StreamSet) -> CompiledArrays:
+    """Build (or fetch the memoized) flat arrays for ``streams``.
+
+    The arrays are a pure function of the stream set, so they are
+    cached on the instance -- every timing model run against the same
+    compile result shares one flattening pass.
+    """
+    cached = getattr(streams, _ARRAYS_ATTR, None)
+    if cached is not None:
+        return cached
+    program = streams.program
+    gates = program.netlist.gates
+    and_op = HaacOp.AND
+    n = len(program.instructions)
+    oor_a = [False] * n
+    oor_b = [False] * n
+    for ge in streams.ges:
+        for local, position in enumerate(ge.positions):
+            if ge.oor_a[local]:
+                oor_a[position] = True
+            if ge.oor_b[local]:
+                oor_b[position] = True
+    arrays = CompiledArrays(
+        n_inputs=program.n_inputs,
+        n_wires=program.n_wires,
+        n_ges=streams.n_ges,
+        capacity=streams.window.capacity,
+        a_of=[gate.a for gate in gates],
+        b_of=[gate.b for gate in gates],
+        ge_of=list(streams.ge_of),
+        is_and=[instr.op is and_op for instr in program.instructions],
+        live=[bool(instr.live) for instr in program.instructions],
+        oor_a=oor_a,
+        oor_b=oor_b,
+        issue_cycle=list(streams.issue_cycle),
+        oor_per_ge=[len(ge.oor_addresses) for ge in streams.ges],
+    )
+    setattr(streams, _ARRAYS_ATTR, arrays)
+    return arrays
+
+
+def compute_cycles(
+    streams: StreamSet, config: HaacConfig, stalls: StallBreakdown
+) -> Tuple[int, Dict[int, int]]:
+    """Replay the per-GE streams; returns (cycles, issued per GE).
+
+    Dispatches on :func:`engine_mode`; both engines implement the exact
+    same model (see the module docstring of :mod:`repro.sim.timing`)
+    and return identical results.
+    """
+    if engine_mode() == ENGINE_REFERENCE:
+        return compute_cycles_reference(streams, config, stalls)
+    return compute_cycles_vectorized(compiled_arrays(streams), config, stalls)
+
+
+def compute_cycles_vectorized(
+    arrays: CompiledArrays, config: HaacConfig, stalls: StallBreakdown
+) -> Tuple[int, Dict[int, int]]:
+    """Flat-array replay (moved verbatim from ``timing._compute_cycles``).
+
+    One iteration per instruction, millions for the large stdlib
+    circuits, so the loop body touches only local list indexing -- no
+    dataclass attribute walks, no defaultdicts, no per-iteration method
+    calls.  Cycle counts are identical to the reference replay.
+    """
+    n_inputs = arrays.n_inputs
+
+    and_latency = config.and_latency
+    xor_latency = config.xor_latency
+    forward = config.cross_ge_forward
+    writeback = config.writeback_stages
+
+    # Preallocated per-wire / per-GE state arrays.
+    n_wires = arrays.n_wires
+    value_ready = [0] * n_wires
+    producer_ge = [-1] * n_wires
+    ge_last_issue = [-1] * arrays.n_ges
+    issued_per_ge = [0] * arrays.n_ges
+    # Window-sync hazard of the tagless SWW: a write to wire o lands in
+    # the slot of wire o - capacity and must wait for its last in-window
+    # reader (see core.passes.streams._greedy_schedule).
+    capacity = arrays.capacity
+    last_read_issue = [0] * n_wires
+
+    # out_addr(p) is n_inputs + p by the ISA contract, tracked
+    # incrementally as `out`.
+    latency_of = [and_latency if flag else xor_latency for flag in arrays.is_and]
+    a_of = arrays.a_of
+    b_of = arrays.b_of
+    ge_of = arrays.ge_of
+
+    conflicts = config.model_bank_conflicts
+    n_banks = config.n_banks
+    # Each single-ported bank runs at sww_clock; accesses per GE cycle:
+    ports_per_cycle = max(1, int(config.sww_clock_hz / config.ge_clock_hz))
+    bank_load: Dict[int, List[int]] = {}
+
+    dependence_stall = 0
+    window_sync_stall = 0
+    bank_conflict_stall = 0
+
+    max_finish = 0
+    out = n_inputs
+    for a, b, ge, latency in zip(a_of, b_of, ge_of, latency_of):
+        earliest_inorder = ge_last_issue[ge] + 1
+        ready = earliest_inorder
+        available = value_ready[a]
+        if a >= n_inputs and producer_ge[a] >= 0 and producer_ge[a] != ge:
+            available += forward
+        if available > ready:
+            ready = available
+        available = value_ready[b]
+        if b >= n_inputs and producer_ge[b] >= 0 and producer_ge[b] != ge:
+            available += forward
+        if available > ready:
+            ready = available
+        if ready > earliest_inorder:
+            dependence_stall += ready - earliest_inorder
+        evicted = out - capacity
+        if evicted >= 0:
+            reader = last_read_issue[evicted]
+            if reader > ready:
+                window_sync_stall += reader - ready
+                ready = reader
+        issue = ready
+
+        if conflicts:
+            # Reads hit banks at issue + 1 (address-to-bank stage).
+            bank_a = a % n_banks
+            bank_b = b % n_banks
+            while True:
+                cycle_loads = bank_load.get(issue + 1)
+                if cycle_loads is None:
+                    cycle_loads = [0] * n_banks
+                    bank_load[issue + 1] = cycle_loads
+                if bank_a == bank_b:
+                    fits = cycle_loads[bank_a] + 2 <= ports_per_cycle
+                else:
+                    fits = (
+                        cycle_loads[bank_a] + 1 <= ports_per_cycle
+                        and cycle_loads[bank_b] + 1 <= ports_per_cycle
+                    )
+                if fits:
+                    cycle_loads[bank_a] += 1
+                    cycle_loads[bank_b] += 1
+                    break
+                bank_conflict_stall += 1
+                issue += 1
+
+        ge_last_issue[ge] = issue
+        issued_per_ge[ge] += 1
+        value_ready[out] = issue + latency
+        producer_ge[out] = ge
+        read_issue = issue + 1
+        if read_issue > last_read_issue[a]:
+            last_read_issue[a] = read_issue
+        if read_issue > last_read_issue[b]:
+            last_read_issue[b] = read_issue
+        finish = issue + latency + writeback
+        if finish > max_finish:
+            max_finish = finish
+        out += 1
+
+    stalls.dependence += dependence_stall
+    stalls.window_sync += window_sync_stall
+    stalls.bank_conflict += bank_conflict_stall
+    if a_of:
+        last_issue = max(ge_last_issue)
+        stalls.drain += max(0, max_finish - (last_issue + 1))
+    return max_finish, {
+        ge: count for ge, count in enumerate(issued_per_ge) if count
+    }
+
+
+def compute_cycles_reference(
+    streams: StreamSet, config: HaacConfig, stalls: StallBreakdown
+) -> Tuple[int, Dict[int, int]]:
+    """Straightforward per-gate replay (the retained reference path).
+
+    Walks the program dataclasses directly -- one attribute lookup per
+    operand, dict-based scoreboard -- exactly the shape the vectorized
+    loop replaced.  The equivalence suite asserts both return identical
+    (cycles, stalls, issued-per-GE) on every stdlib circuit family.
+    """
+    program = streams.program
+    n_inputs = program.n_inputs
+    capacity = streams.window.capacity
+    ports_per_cycle = max(1, int(config.sww_clock_hz / config.ge_clock_hz))
+
+    value_ready: Dict[int, int] = {}
+    producer_ge: Dict[int, int] = {}
+    ge_last_issue: Dict[int, int] = {}
+    issued_per_ge: Dict[int, int] = {}
+    last_read_issue: Dict[int, int] = {}
+    bank_load: Dict[int, List[int]] = {}
+
+    max_finish = 0
+    for position, instr in enumerate(program.instructions):
+        gate = program.netlist.gates[position]
+        ge = streams.ge_of[position]
+        latency = (
+            config.and_latency if instr.op is HaacOp.AND else config.xor_latency
+        )
+        earliest_inorder = ge_last_issue.get(ge, -1) + 1
+        ready = earliest_inorder
+        for wire in (gate.a, gate.b):
+            available = value_ready.get(wire, 0)
+            source = producer_ge.get(wire, -1)
+            if wire >= n_inputs and source >= 0 and source != ge:
+                available += config.cross_ge_forward
+            if available > ready:
+                ready = available
+        if ready > earliest_inorder:
+            stalls.dependence += ready - earliest_inorder
+        out = program.out_addr(position)
+        evicted = out - capacity
+        if evicted >= 0:
+            reader = last_read_issue.get(evicted, 0)
+            if reader > ready:
+                stalls.window_sync += reader - ready
+                ready = reader
+        issue = ready
+
+        if config.model_bank_conflicts:
+            bank_a = gate.a % config.n_banks
+            bank_b = gate.b % config.n_banks
+            while True:
+                cycle_loads = bank_load.setdefault(
+                    issue + 1, [0] * config.n_banks
+                )
+                if bank_a == bank_b:
+                    fits = cycle_loads[bank_a] + 2 <= ports_per_cycle
+                else:
+                    fits = (
+                        cycle_loads[bank_a] + 1 <= ports_per_cycle
+                        and cycle_loads[bank_b] + 1 <= ports_per_cycle
+                    )
+                if fits:
+                    cycle_loads[bank_a] += 1
+                    cycle_loads[bank_b] += 1
+                    break
+                stalls.bank_conflict += 1
+                issue += 1
+
+        ge_last_issue[ge] = issue
+        issued_per_ge[ge] = issued_per_ge.get(ge, 0) + 1
+        value_ready[out] = issue + latency
+        producer_ge[out] = ge
+        for wire in (gate.a, gate.b):
+            if issue + 1 > last_read_issue.get(wire, 0):
+                last_read_issue[wire] = issue + 1
+        finish = issue + latency + config.writeback_stages
+        if finish > max_finish:
+            max_finish = finish
+
+    if program.instructions:
+        last_issue = max(ge_last_issue.values())
+        stalls.drain += max(0, max_finish - (last_issue + 1))
+    return max_finish, dict(sorted(issued_per_ge.items()))

@@ -18,15 +18,23 @@ compute proceeds in parallel across cores while the shared memory
 interface serialises aggregate traffic, so::
 
     runtime = max(max_core_compute, total_traffic / bandwidth)
+
+The per-shard replays run on the shared flat-array engine
+(:mod:`repro.sim.engine`, ``REPRO_SIM_ENGINE`` selects the retained
+reference loops), and every per-shard compile goes through the
+persistent program cache when one is configured (``cache`` argument,
+``HaacConfig.prog_cache`` or ``REPRO_PROG_CACHE``) -- a core-count
+sweep recompiles nothing on warm runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..circuits.netlist import Circuit, Gate
-from ..core.compiler import OptLevel, compile_circuit
+from ..core.compiler import CacheSpec, OptLevel, compile_circuit
+from ..core.progcache import circuit_digest, resolve_cache, shard_key
 from .config import HaacConfig
 from .timing import simulate
 
@@ -65,8 +73,16 @@ def partition_components(circuit: Circuit) -> List[List[int]]:
 
     Gates sharing any wire (through operands or outputs) belong to one
     component; components are returned as gate-position lists in
-    topological (original) order.
+    topological (original) order.  Runs on flat arrays: one
+    path-halving union-find over the dense wire ids, then a single
+    bucketing pass keyed by dense root indices -- no per-gate dict or
+    method-call overhead.  The result is a pure function of the netlist
+    and is memoized on the instance (like ``and_level_schedule``), so a
+    core-count sweep partitions once.
     """
+    cached = getattr(circuit, "_components_cache", None)
+    if cached is not None:
+        return [list(component) for component in cached]
     parent = list(range(circuit.n_wires))
 
     def find(x: int) -> int:
@@ -75,40 +91,59 @@ def partition_components(circuit: Circuit) -> List[List[int]]:
             x = parent[x]
         return x
 
-    def union(a: int, b: int) -> None:
-        ra, rb = find(a), find(b)
-        if ra != rb:
-            parent[rb] = ra
-
     for gate in circuit.gates:
-        for wire in gate.inputs():
-            union(gate.out, wire)
+        out_root = find(gate.out)
+        a_root = find(gate.a)
+        if a_root != out_root:
+            parent[a_root] = out_root
+        if gate.b >= 0:
+            b_root = find(gate.b)
+            out_root = find(gate.out)
+            if b_root != out_root:
+                parent[b_root] = out_root
 
-    groups: dict[int, List[int]] = {}
+    # Dense root -> component-index mapping on a flat array, filled in
+    # first-seen (topological) order so the output matches the old
+    # dict-based grouping exactly.
+    component_of_root = [-1] * circuit.n_wires
+    components: List[List[int]] = []
     for position, gate in enumerate(circuit.gates):
-        groups.setdefault(find(gate.out), []).append(position)
-    return list(groups.values())
+        root = find(gate.out)
+        index = component_of_root[root]
+        if index < 0:
+            index = len(components)
+            component_of_root[root] = index
+            components.append([])
+        components[index].append(position)
+    circuit._components_cache = [list(component) for component in components]
+    return components
 
 
 def _shard_circuit(circuit: Circuit, positions: List[int]) -> Circuit:
     """Extract the sub-circuit formed by ``positions`` (one shard).
 
     Keeps every primary input (inputs are cheap and shared); renumbers
-    internal wires densely.  Outputs are the original circuit outputs
-    produced inside the shard.
+    internal wires densely through a preallocated flat mapping array.
+    Outputs are the original circuit outputs produced inside the shard.
+
+    The dense renumbering preserves SSA and topological order by
+    construction, so the shard skips ``validate()`` here; the compiler
+    re-checks the program form during stream generation anyway.
     """
-    position_set = set(positions)
-    mapping = {wire: wire for wire in range(circuit.n_inputs)}
+    mapping = [-1] * circuit.n_wires
+    for wire in range(circuit.n_inputs):
+        mapping[wire] = wire
     gates: List[Gate] = []
     next_id = circuit.n_inputs
+    source_gates = circuit.gates
     for position in sorted(positions):
-        gate = circuit.gates[position]
+        gate = source_gates[position]
         a = mapping[gate.a]
         b = mapping[gate.b] if gate.b >= 0 else -1
         mapping[gate.out] = next_id
         gates.append(Gate(gate.op, a, b, next_id))
         next_id += 1
-    outputs = [mapping[w] for w in circuit.outputs if w in mapping]
+    outputs = [mapping[w] for w in circuit.outputs if mapping[w] >= 0]
     if not outputs:
         outputs = [gates[-1].out] if gates else [0]
     shard = Circuit(
@@ -118,7 +153,6 @@ def _shard_circuit(circuit: Circuit, positions: List[int]) -> Circuit:
         gates=gates,
         name=circuit.name + "+shard",
     )
-    shard.validate()
     return shard
 
 
@@ -127,6 +161,7 @@ def simulate_multicore(
     config: HaacConfig,
     n_cores: int,
     opt: OptLevel = OptLevel.RO_RN_ESW,
+    cache: Optional[CacheSpec] = None,
 ) -> MulticoreResult:
     """Shard ``circuit`` across ``n_cores`` HAAC instances.
 
@@ -134,9 +169,16 @@ def simulate_multicore(
     (largest first, to the least-loaded core).  A single-component
     circuit degenerates to one busy core -- no speedup, as the paper's
     "may help" hedge anticipates for serial workloads.
+
+    ``cache`` routes the per-shard (and single-core baseline) compiles
+    through the persistent program cache; ``None`` defers to
+    ``config.prog_cache`` and then the ``REPRO_PROG_CACHE`` environment
+    variable.
     """
     if n_cores < 1:
         raise ValueError("need at least one core")
+    store = resolve_cache(cache if cache is not None else config.prog_cache)
+    params = config.schedule_params()
     components = partition_components(circuit)
     components.sort(key=len, reverse=True)
 
@@ -150,18 +192,32 @@ def simulate_multicore(
 
     single = compile_circuit(
         circuit, config.window, config.n_ges, opt=opt,
-        params=config.schedule_params(),
+        params=params, cache=store if store is not None else False,
     )
     single_sim = simulate(single.streams, config)
 
+    # Shard compiles are keyed by (parent digest, positions) so warm
+    # sweeps skip both the shard extraction and the compiler.
+    parent_digest = circuit_digest(circuit) if store is not None else ""
     core_compute: List[int] = []
     total_traffic = 0.0
     for positions in assignments:
-        shard = _shard_circuit(circuit, positions)
-        compiled = compile_circuit(
-            shard, config.window, config.n_ges, opt=opt,
-            params=config.schedule_params(),
-        )
+        compiled = None
+        key = None
+        if store is not None:
+            key = shard_key(
+                parent_digest, positions, config.window.capacity,
+                config.n_ges, opt, params,
+            )
+            compiled = store.get(key)
+        if compiled is None:
+            shard = _shard_circuit(circuit, positions)
+            compiled = compile_circuit(
+                shard, config.window, config.n_ges, opt=opt,
+                params=params, cache=False,
+            )
+            if store is not None and key is not None:
+                store.put(key, compiled)
         sim = simulate(compiled.streams, config)
         core_compute.append(sim.compute_cycles)
         total_traffic += sim.traffic_cycles  # shared DRAM serialises

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..circuits.netlist import Circuit
-from ..core.compiler import CompileResult, OptLevel, compile_circuit
+from ..core.compiler import CacheSpec, CompileResult, OptLevel, compile_circuit
 from .config import HaacConfig
 from .stats import SimResult
 from .timing import simulate
@@ -31,8 +31,13 @@ def run_haac(
     circuit: Circuit,
     config: Optional[HaacConfig] = None,
     opt: OptLevel = OptLevel.RO_RN_ESW,
+    cache: Optional[CacheSpec] = None,
 ) -> HaacRun:
-    """Compile ``circuit`` at ``opt`` and simulate it on ``config``."""
+    """Compile ``circuit`` at ``opt`` and simulate it on ``config``.
+
+    ``cache`` selects the persistent program cache; ``None`` defers to
+    ``config.prog_cache`` and then ``REPRO_PROG_CACHE``.
+    """
     config = config or HaacConfig.paper_default()
     result = compile_circuit(
         circuit,
@@ -40,13 +45,16 @@ def run_haac(
         config.n_ges,
         opt=opt,
         params=config.schedule_params(),
+        cache=cache if cache is not None else config.prog_cache,
     )
     sim = simulate(result.streams, config)
     return HaacRun(compile_result=result, sim=sim, config=config)
 
 
 def run_best_reorder(
-    circuit: Circuit, config: Optional[HaacConfig] = None
+    circuit: Circuit,
+    config: Optional[HaacConfig] = None,
+    cache: Optional[CacheSpec] = None,
 ) -> Tuple[HaacRun, Dict[OptLevel, float]]:
     """Simulate both reorderings (ESW on) and keep the faster, as the
     paper does for its DDR4 results ("deploy the best performing
@@ -55,7 +63,7 @@ def run_best_reorder(
     runs: Dict[OptLevel, HaacRun] = {}
     times: Dict[OptLevel, float] = {}
     for opt in (OptLevel.RO_RN_ESW, OptLevel.SEG_RN_ESW):
-        run = run_haac(circuit, config, opt)
+        run = run_haac(circuit, config, opt, cache=cache)
         runs[opt] = run
         times[opt] = run.runtime_s
     best = min(runs.values(), key=lambda run: run.runtime_s)

@@ -25,13 +25,11 @@ their 4-byte address stream, and live-wire write-backs.
 
 from __future__ import annotations
 
-from typing import Dict, List
-
-from ..core.isa import HaacOp
 from ..core.passes.streams import StreamSet
 from ..core.sww import WIRE_BYTES
 from .config import OOR_ADDR_BYTES, TABLE_BYTES, HaacConfig
 from .dram import BandwidthLedger
+from .engine import compute_cycles
 from .stats import SimResult, StallBreakdown
 
 __all__ = ["simulate", "compute_traffic"]
@@ -49,143 +47,21 @@ def compute_traffic(streams: StreamSet, config: HaacConfig) -> BandwidthLedger:
     return ledger
 
 
-def _compute_cycles(
-    streams: StreamSet, config: HaacConfig, stalls: StallBreakdown
-) -> tuple[int, Dict[int, int]]:
-    """Replay the per-GE streams in order; returns (cycles, issued per GE).
-
-    This is the simulator's hottest loop (one iteration per instruction,
-    millions for the large stdlib circuits), so all per-gate stream
-    attributes are flattened into preallocated parallel arrays up front
-    and the loop body touches only local list indexing -- no dataclass
-    attribute walks, no defaultdicts, no per-iteration method calls.
-    Cycle counts are identical to the straightforward replay.
-    """
-    program = streams.program
-    n_inputs = program.n_inputs
-    gates = program.netlist.gates
-    instructions = program.instructions
-    ge_of = streams.ge_of
-
-    and_latency = config.and_latency
-    xor_latency = config.xor_latency
-    forward = config.cross_ge_forward
-    writeback = config.writeback_stages
-
-    # Preallocated per-wire / per-GE state arrays.
-    n_wires = program.n_wires
-    value_ready = [0] * n_wires
-    producer_ge = [-1] * n_wires
-    ge_last_issue = [-1] * streams.n_ges
-    issued_per_ge = [0] * streams.n_ges
-    # Window-sync hazard of the tagless SWW: a write to wire o lands in
-    # the slot of wire o - capacity and must wait for its last in-window
-    # reader (see core.passes.streams._greedy_schedule).
-    capacity = streams.window.capacity
-    last_read_issue = [0] * n_wires
-
-    # Flattened per-instruction streams (out_addr(p) is n_inputs + p by
-    # the ISA contract, tracked incrementally as `out`).
-    and_op = HaacOp.AND
-    latency_of = [
-        and_latency if instr.op is and_op else xor_latency for instr in instructions
-    ]
-    a_of = [gate.a for gate in gates]
-    b_of = [gate.b for gate in gates]
-
-    conflicts = config.model_bank_conflicts
-    n_banks = config.n_banks
-    # Each single-ported bank runs at sww_clock; accesses per GE cycle:
-    ports_per_cycle = max(1, int(config.sww_clock_hz / config.ge_clock_hz))
-    bank_load: Dict[int, List[int]] = {}
-
-    dependence_stall = 0
-    window_sync_stall = 0
-    bank_conflict_stall = 0
-
-    max_finish = 0
-    out = n_inputs
-    for a, b, ge, latency in zip(a_of, b_of, ge_of, latency_of):
-        earliest_inorder = ge_last_issue[ge] + 1
-        ready = earliest_inorder
-        available = value_ready[a]
-        if a >= n_inputs and producer_ge[a] >= 0 and producer_ge[a] != ge:
-            available += forward
-        if available > ready:
-            ready = available
-        available = value_ready[b]
-        if b >= n_inputs and producer_ge[b] >= 0 and producer_ge[b] != ge:
-            available += forward
-        if available > ready:
-            ready = available
-        if ready > earliest_inorder:
-            dependence_stall += ready - earliest_inorder
-        evicted = out - capacity
-        if evicted >= 0:
-            reader = last_read_issue[evicted]
-            if reader > ready:
-                window_sync_stall += reader - ready
-                ready = reader
-        issue = ready
-
-        if conflicts:
-            # Reads hit banks at issue + 1 (address-to-bank stage).
-            bank_a = a % n_banks
-            bank_b = b % n_banks
-            while True:
-                cycle_loads = bank_load.get(issue + 1)
-                if cycle_loads is None:
-                    cycle_loads = [0] * n_banks
-                    bank_load[issue + 1] = cycle_loads
-                if bank_a == bank_b:
-                    fits = cycle_loads[bank_a] + 2 <= ports_per_cycle
-                else:
-                    fits = (
-                        cycle_loads[bank_a] + 1 <= ports_per_cycle
-                        and cycle_loads[bank_b] + 1 <= ports_per_cycle
-                    )
-                if fits:
-                    cycle_loads[bank_a] += 1
-                    cycle_loads[bank_b] += 1
-                    break
-                bank_conflict_stall += 1
-                issue += 1
-
-        ge_last_issue[ge] = issue
-        issued_per_ge[ge] += 1
-        value_ready[out] = issue + latency
-        producer_ge[out] = ge
-        read_issue = issue + 1
-        if read_issue > last_read_issue[a]:
-            last_read_issue[a] = read_issue
-        if read_issue > last_read_issue[b]:
-            last_read_issue[b] = read_issue
-        finish = issue + latency + writeback
-        if finish > max_finish:
-            max_finish = finish
-        out += 1
-
-    stalls.dependence += dependence_stall
-    stalls.window_sync += window_sync_stall
-    stalls.bank_conflict += bank_conflict_stall
-    if instructions:
-        last_issue = max(ge_last_issue)
-        stalls.drain += max(0, max_finish - (last_issue + 1))
-    return max_finish, {
-        ge: count for ge, count in enumerate(issued_per_ge) if count
-    }
-
-
 def simulate(streams: StreamSet, config: HaacConfig) -> SimResult:
-    """Run the decoupled timing model for one compiled program."""
+    """Run the decoupled timing model for one compiled program.
+
+    The compute replay lives in :mod:`repro.sim.engine` (shared with the
+    coupled and multicore models); ``REPRO_SIM_ENGINE=reference``
+    selects the retained per-gate loop instead of the flat-array one.
+    """
     stalls = StallBreakdown()
-    compute_cycles, issued_per_ge = _compute_cycles(streams, config, stalls)
+    compute_cycles_total, issued_per_ge = compute_cycles(streams, config, stalls)
     ledger = compute_traffic(streams, config)
     traffic_cycles = ledger.total_bytes / config.dram_bytes_per_ge_cycle
     program = streams.program
     return SimResult(
         name=program.name,
-        compute_cycles=compute_cycles,
+        compute_cycles=compute_cycles_total,
         traffic_cycles=traffic_cycles,
         ledger=ledger,
         stalls=stalls,

@@ -1,0 +1,334 @@
+"""Persistent compiled-program cache: digests, store, wiring."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.stdlib.integer import add, mul
+from repro.core.compiler import OptLevel, compile_best, compile_circuit
+from repro.core.passes.streams import ScheduleParams
+from repro.core.progcache import (
+    CACHE_ENV_VAR,
+    ProgramCache,
+    circuit_digest,
+    compile_key,
+    resolve_cache,
+    shard_key,
+)
+from repro.sim.config import HaacConfig
+from repro.sim.multicore import simulate_multicore
+from repro.sim.timing import simulate
+from repro.workloads import get_workload
+
+
+def _adder(width=8, name="adder"):
+    b = CircuitBuilder()
+    xs = b.add_garbler_inputs(width)
+    ys = b.add_evaluator_inputs(width)
+    b.mark_outputs(add(b, xs, ys))
+    return b.build(name)
+
+
+def _multiplier(width=8):
+    b = CircuitBuilder()
+    xs = b.add_garbler_inputs(width)
+    ys = b.add_evaluator_inputs(width)
+    b.mark_outputs(mul(b, xs, ys))
+    return b.build("multiplier")
+
+
+@pytest.fixture
+def config():
+    return HaacConfig(n_ges=4, sww_bytes=64 * 16)
+
+
+def _result_fingerprint(result):
+    """Everything that must survive a cache round trip."""
+    return (
+        [(i.op, i.wa, i.wb, i.live) for i in result.program.instructions],
+        result.program.n_inputs,
+        result.program.outputs,
+        result.streams.ge_of,
+        result.streams.issue_cycle,
+        result.streams.makespan,
+        [ge.oor_addresses for ge in result.streams.ges],
+        result.opt,
+        result.esw_report.spent_pct,
+    )
+
+
+class TestDigest:
+    def test_identical_circuits_share_digest(self):
+        assert circuit_digest(_adder()) == circuit_digest(_adder())
+
+    def test_different_netlists_differ(self):
+        assert circuit_digest(_adder()) != circuit_digest(_multiplier())
+        assert circuit_digest(_adder(8)) != circuit_digest(_adder(9))
+
+    def test_name_is_part_of_identity(self):
+        # Cached results carry the circuit name into reports, so two
+        # identical netlists with different names must not collide.
+        assert circuit_digest(_adder(name="a")) != circuit_digest(_adder(name="b"))
+
+    def test_stable_across_process_restarts(self):
+        """Hash randomization must not leak into the digest."""
+        import os
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        code = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.circuits.builder import CircuitBuilder\n"
+            "from repro.circuits.stdlib.integer import add\n"
+            "from repro.core.progcache import circuit_digest\n"
+            "b = CircuitBuilder()\n"
+            "xs = b.add_garbler_inputs(8)\n"
+            "ys = b.add_evaluator_inputs(8)\n"
+            "b.mark_outputs(add(b, xs, ys))\n"
+            "print(circuit_digest(b.build('adder')))\n"
+        )
+        runs = set()
+        for seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True,
+                cwd=str(root), env=env,
+            )
+            runs.add(proc.stdout.strip())
+        assert runs == {circuit_digest(_adder())}
+
+    def test_memoized_digest_matches_fresh_instance(self):
+        circuit = _adder()
+        first = circuit_digest(circuit)
+        assert circuit_digest(circuit) == first  # memo path
+        assert circuit_digest(_adder()) == first  # fresh instance
+
+
+class TestCompileKey:
+    def test_distinct_config_tuples_distinct_keys(self, config):
+        circuit = _adder()
+        base = compile_key(circuit, config.window.capacity, config.n_ges,
+                           OptLevel.RO_RN_ESW)
+        assert base != compile_key(circuit, config.window.capacity * 2,
+                                   config.n_ges, OptLevel.RO_RN_ESW)
+        assert base != compile_key(circuit, config.window.capacity,
+                                   config.n_ges + 4, OptLevel.RO_RN_ESW)
+        for opt in OptLevel:
+            if opt is not OptLevel.RO_RN_ESW:
+                assert base != compile_key(
+                    circuit, config.window.capacity, config.n_ges, opt
+                )
+
+    def test_role_params_distinguish_keys(self, config):
+        circuit = _adder()
+        evaluator = compile_key(
+            circuit, config.window.capacity, config.n_ges,
+            OptLevel.RO_RN_ESW, ScheduleParams.evaluator(),
+        )
+        garbler = compile_key(
+            circuit, config.window.capacity, config.n_ges,
+            OptLevel.RO_RN_ESW, ScheduleParams.garbler(),
+        )
+        assert evaluator != garbler
+
+    def test_default_params_normalised(self, config):
+        circuit = _adder()
+        implicit = compile_key(circuit, config.window.capacity, config.n_ges,
+                               OptLevel.RO_RN_ESW)
+        explicit = compile_key(circuit, config.window.capacity, config.n_ges,
+                               OptLevel.RO_RN_ESW, ScheduleParams.evaluator(),
+                               segment_size=config.window.half)
+        assert implicit == explicit
+
+    def test_shard_key_depends_on_positions(self):
+        digest = circuit_digest(_adder())
+        a = shard_key(digest, [0, 1, 2], 64, 4, OptLevel.RO_RN_ESW)
+        b = shard_key(digest, [0, 1, 3], 64, 4, OptLevel.RO_RN_ESW)
+        assert a != b
+        # Order-insensitive: positions are a set of gates.
+        assert a == shard_key(digest, [2, 1, 0], 64, 4, OptLevel.RO_RN_ESW)
+
+
+class TestProgramCache:
+    def test_warm_hit_returns_equal_result(self, tmp_path, config):
+        store = ProgramCache(tmp_path)
+        circuit = _adder()
+        cold = compile_circuit(
+            circuit, config.window, config.n_ges,
+            params=config.schedule_params(), cache=store,
+        )
+        assert store.stats.as_dict() == {
+            "hits": 0, "misses": 1, "corrupt": 0, "puts": 1,
+        }
+        warm = compile_circuit(
+            circuit, config.window, config.n_ges,
+            params=config.schedule_params(), cache=store,
+        )
+        assert store.stats.hits == 1
+        assert _result_fingerprint(cold) == _result_fingerprint(warm)
+        assert simulate(warm.streams, config).compute_cycles == \
+            simulate(cold.streams, config).compute_cycles
+
+    def test_disk_round_trip_without_memory_layer(self, tmp_path, config):
+        circuit = _adder()
+        writer = ProgramCache(tmp_path, memory=False)
+        cold = compile_circuit(
+            circuit, config.window, config.n_ges,
+            params=config.schedule_params(), cache=writer,
+        )
+        reader = ProgramCache(tmp_path, memory=False)
+        warm = compile_circuit(
+            circuit, config.window, config.n_ges,
+            params=config.schedule_params(), cache=reader,
+        )
+        assert reader.stats.hits == 1
+        assert warm is not cold  # genuine unpickle, not aliasing
+        assert _result_fingerprint(cold) == _result_fingerprint(warm)
+
+    def test_corrupted_entry_recovers_by_recompiling(self, tmp_path, config):
+        circuit = _adder()
+        store = ProgramCache(tmp_path, memory=False)
+        compile_circuit(circuit, config.window, config.n_ges,
+                        params=config.schedule_params(), cache=store)
+        (entry,) = list(tmp_path.glob("*.pkl"))
+        entry.write_bytes(b"not a pickle at all")
+        result = compile_circuit(circuit, config.window, config.n_ges,
+                                 params=config.schedule_params(), cache=store)
+        assert result.streams.makespan > 0
+        assert store.stats.corrupt == 1
+        assert store.stats.misses == 2  # cold + corrupted
+        assert store.stats.puts == 2  # entry was rewritten
+        # And the rewritten entry is healthy again.
+        fresh = ProgramCache(tmp_path, memory=False)
+        warm = compile_circuit(circuit, config.window, config.n_ges,
+                               params=config.schedule_params(), cache=fresh)
+        assert fresh.stats.hits == 1
+        assert _result_fingerprint(warm) == _result_fingerprint(result)
+
+    def test_truncated_entry_recovers(self, tmp_path, config):
+        circuit = _adder()
+        store = ProgramCache(tmp_path, memory=False)
+        compile_circuit(circuit, config.window, config.n_ges,
+                        params=config.schedule_params(), cache=store)
+        (entry,) = list(tmp_path.glob("*.pkl"))
+        entry.write_bytes(entry.read_bytes()[:100])
+        compile_circuit(circuit, config.window, config.n_ges,
+                        params=config.schedule_params(), cache=store)
+        assert store.stats.corrupt == 1
+
+    def test_distinct_tuples_distinct_entries(self, tmp_path, config):
+        store = ProgramCache(tmp_path)
+        circuit = _adder()
+        for opt in (OptLevel.BASELINE, OptLevel.RO_RN_ESW):
+            compile_circuit(circuit, config.window, config.n_ges,
+                            opt=opt, params=config.schedule_params(),
+                            cache=store)
+        wide = config.with_sww_bytes(config.sww_bytes * 2)
+        compile_circuit(circuit, wide.window, wide.n_ges,
+                        params=wide.schedule_params(), cache=store)
+        assert store.stats.hits == 0
+        assert store.entry_count() == 3
+
+    def test_clear(self, tmp_path, config):
+        store = ProgramCache(tmp_path)
+        compile_circuit(_adder(), config.window, config.n_ges,
+                        params=config.schedule_params(), cache=store)
+        assert store.entry_count() == 1
+        assert store.clear() == 1
+        assert store.entry_count() == 0
+
+
+class TestResolution:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        assert resolve_cache("off") is None
+
+    def test_env_path_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        store = resolve_cache(None)
+        assert store is not None
+        assert store.root == tmp_path
+
+    def test_env_off_values(self, monkeypatch):
+        for value in ("0", "off", "none"):
+            monkeypatch.setenv(CACHE_ENV_VAR, value)
+            assert resolve_cache(None) is None
+
+    def test_instances_memoized_per_directory(self, tmp_path):
+        first = resolve_cache(str(tmp_path))
+        second = resolve_cache(str(tmp_path))
+        assert first is second  # shared counters across call sites
+
+    def test_compile_circuit_picks_up_env(self, monkeypatch, tmp_path, config):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        circuit = _adder()
+        compile_circuit(circuit, config.window, config.n_ges,
+                        params=config.schedule_params())
+        store = resolve_cache(None)
+        compile_circuit(circuit, config.window, config.n_ges,
+                        params=config.schedule_params())
+        assert store.stats.hits >= 1
+        assert store.entry_count() == 1
+
+
+class TestWiring:
+    def test_compile_best_uses_cache(self, tmp_path, config):
+        store = ProgramCache(tmp_path)
+        circuit = _adder()
+
+        def score(result):
+            return float(result.streams.makespan)
+
+        best_cold, scores_cold = compile_best(
+            circuit, config.window, config.n_ges, score,
+            params=config.schedule_params(), cache=store,
+        )
+        assert store.stats.puts == 2  # both reorderings stored
+        best_warm, scores_warm = compile_best(
+            circuit, config.window, config.n_ges, score,
+            params=config.schedule_params(), cache=store,
+        )
+        assert store.stats.hits == 2
+        assert scores_cold == scores_warm
+        assert best_warm.opt == best_cold.opt
+
+    def test_multicore_warm_sweep_hits(self, tmp_path):
+        store = ProgramCache(tmp_path)
+        built = get_workload("ReLU").build(k=16, width=8)
+        config = HaacConfig(n_ges=4, sww_bytes=16 * 1024)
+        cold = simulate_multicore(built.circuit, config, 4, cache=store)
+        assert store.stats.hits == 0
+        warm = simulate_multicore(built.circuit, config, 4, cache=store)
+        assert store.stats.misses == store.stats.puts
+        assert store.stats.hits == 5  # single + 4 shards
+        assert cold.core_compute_cycles == warm.core_compute_cycles
+        assert cold.total_traffic_cycles == warm.total_traffic_cycles
+
+    def test_multicore_warm_sweep_cross_store(self, tmp_path):
+        """Fresh store instance (as in a new process) still hits disk."""
+        built = get_workload("ReLU").build(k=16, width=8)
+        config = HaacConfig(n_ges=4, sww_bytes=16 * 1024)
+        cold = simulate_multicore(
+            built.circuit, config, 4, cache=ProgramCache(tmp_path)
+        )
+        fresh = ProgramCache(tmp_path)
+        warm = simulate_multicore(built.circuit, config, 4, cache=fresh)
+        assert fresh.stats.hits == 5
+        assert fresh.stats.misses == 0
+        assert cold.core_compute_cycles == warm.core_compute_cycles
+
+    def test_config_prog_cache_field(self, tmp_path):
+        built = get_workload("ReLU").build(k=8, width=8)
+        config = HaacConfig(
+            n_ges=4, sww_bytes=16 * 1024, prog_cache=str(tmp_path)
+        )
+        simulate_multicore(built.circuit, config, 2)
+        store = resolve_cache(str(tmp_path))
+        assert store.entry_count() > 0

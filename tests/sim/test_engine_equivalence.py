@@ -1,0 +1,255 @@
+"""Cross-model engine equivalence: vectorized vs reference loops.
+
+The contract under test: every timing model (decoupled simulate,
+coupled, pull-based, multicore) produces *bit-identical* cycle counts,
+stall breakdowns and per-GE issue counts whether it runs on the shared
+flat-array engine (the default) or the retained per-gate reference
+loops (``REPRO_SIM_ENGINE=reference``), across every stdlib circuit
+family and every compiler optimization level.  This pins the models
+down so future engine refactors cannot silently drift cycle counts.
+
+The fast lane covers all five small stdlib families at every OptLevel;
+the exhaustive sweep adds AES-128 (200k gates) and is marked ``slow``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.stdlib import fixed, integer, logic
+from repro.circuits.stdlib.aes_circuit import build_aes128_circuit
+from repro.circuits.stdlib.float import FloatFormat, fp_add
+from repro.core.compiler import OptLevel, compile_circuit
+from repro.sim.config import HaacConfig
+from repro.sim.coupled import coupled_runtime, pull_based_runtime
+from repro.sim.engine import (
+    ENGINE_ENV_VAR,
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    engine_mode,
+)
+from repro.sim.multicore import simulate_multicore
+from repro.sim.timing import simulate
+from repro.workloads import get_workload
+
+
+def _logic8():
+    b = CircuitBuilder()
+    xs = b.add_garbler_inputs(8)
+    ys = b.add_evaluator_inputs(8)
+    b.mark_outputs(logic.popcount(b, logic.bitwise_and(b, xs, ys)))
+    b.mark_outputs([logic.equals(b, xs, ys), logic.parity(b, xs)])
+    b.mark_outputs(logic.mux(b, logic.any_bit(b, ys), xs, ys))
+    return b.build("logic8")
+
+
+def _adder8():
+    b = CircuitBuilder()
+    xs = b.add_garbler_inputs(8)
+    ys = b.add_evaluator_inputs(8)
+    b.mark_outputs(integer.add(b, xs, ys))
+    return b.build("adder8")
+
+
+def _integer8():
+    b = CircuitBuilder()
+    xs = b.add_garbler_inputs(8)
+    ys = b.add_evaluator_inputs(8)
+    b.mark_outputs(integer.sub(b, xs, ys))
+    b.mark_outputs(integer.mul(b, xs, ys))
+    b.mark_outputs([integer.less_than(b, xs, ys)])
+    return b.build("integer8")
+
+
+def _fixed8():
+    b = CircuitBuilder()
+    fmt = fixed.FixedFormat(width=8, fraction_bits=3)
+    xs = b.add_garbler_inputs(8)
+    ys = b.add_evaluator_inputs(8)
+    b.mark_outputs(fixed.fx_mul(b, fmt, xs, ys))
+    return b.build("fixed8")
+
+
+def _float8():
+    b = CircuitBuilder()
+    fmt = FloatFormat(exponent_bits=4, mantissa_bits=3)
+    xs = b.add_garbler_inputs(fmt.width)
+    ys = b.add_evaluator_inputs(fmt.width)
+    b.mark_outputs(fp_add(b, fmt, xs, ys))
+    return b.build("float8")
+
+
+STDLIB_FAMILIES = {
+    "logic8": _logic8,
+    "adder8": _adder8,
+    "integer8": _integer8,
+    "fixed8": _fixed8,
+    "float8": _float8,
+}
+
+ALL_OPTS = list(OptLevel)
+
+
+@lru_cache(maxsize=None)
+def _circuit(family: str):
+    if family == "aes128":
+        return build_aes128_circuit()
+    return STDLIB_FAMILIES[family]()
+
+
+@lru_cache(maxsize=None)
+def _compiled(family: str, opt: OptLevel, sww_bytes: int = 64 * 16):
+    config = HaacConfig(n_ges=4, sww_bytes=sww_bytes)
+    result = compile_circuit(
+        _circuit(family), config.window, config.n_ges,
+        opt=opt, params=config.schedule_params(),
+    )
+    return result, config
+
+
+def _sim_snapshot(streams, config):
+    sim = simulate(streams, config)
+    return (
+        sim.compute_cycles,
+        sim.traffic_cycles,
+        sim.stalls.as_dict(),
+        dict(sim.issued_per_ge),
+    )
+
+
+def _coupled_snapshot(streams, config):
+    rows = []
+    for queue_bytes in (None, 64, 4096):
+        coupled = coupled_runtime(streams, config, queue_bytes)
+        rows.append((coupled.cycles, coupled.stall_cycles, coupled.name))
+    pull = pull_based_runtime(streams, config)
+    rows.append((pull.cycles, pull.stall_cycles, pull.name))
+    return rows
+
+
+def _both_engines(monkeypatch, fn):
+    """Run ``fn()`` under each engine; returns (vectorized, reference)."""
+    monkeypatch.setenv(ENGINE_ENV_VAR, ENGINE_VECTORIZED)
+    vectorized = fn()
+    monkeypatch.setenv(ENGINE_ENV_VAR, ENGINE_REFERENCE)
+    reference = fn()
+    return vectorized, reference
+
+
+class TestEngineMode:
+    def test_default_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert engine_mode() == ENGINE_VECTORIZED
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("vectorized", ENGINE_VECTORIZED),
+        ("flat", ENGINE_VECTORIZED),
+        ("reference", ENGINE_REFERENCE),
+        ("REF", ENGINE_REFERENCE),
+    ])
+    def test_aliases(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(ENGINE_ENV_VAR, raw)
+        assert engine_mode() == expected
+
+    def test_unknown_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "turbo")
+        with pytest.raises(ValueError):
+            engine_mode()
+
+
+@pytest.mark.parametrize("family", sorted(STDLIB_FAMILIES))
+@pytest.mark.parametrize("opt", ALL_OPTS, ids=lambda o: o.value)
+class TestDecoupledEquivalence:
+    def test_simulate_identical(self, monkeypatch, family, opt):
+        result, config = _compiled(family, opt)
+        vectorized, reference = _both_engines(
+            monkeypatch, lambda: _sim_snapshot(result.streams, config)
+        )
+        assert vectorized == reference
+
+    def test_bank_conflicts_identical(self, monkeypatch, family, opt):
+        result, config = _compiled(family, opt)
+        conflict_config = config._replace(model_bank_conflicts=True)
+        vectorized, reference = _both_engines(
+            monkeypatch, lambda: _sim_snapshot(result.streams, conflict_config)
+        )
+        assert vectorized == reference
+
+
+@pytest.mark.parametrize("family", sorted(STDLIB_FAMILIES))
+@pytest.mark.parametrize("opt", ALL_OPTS, ids=lambda o: o.value)
+class TestCoupledEquivalence:
+    def test_coupled_and_pull_identical(self, monkeypatch, family, opt):
+        result, config = _compiled(family, opt)
+        vectorized, reference = _both_engines(
+            monkeypatch, lambda: _coupled_snapshot(result.streams, config)
+        )
+        assert vectorized == reference
+
+    def test_generous_queues_converge_to_decoupled(self, monkeypatch, family, opt):
+        """With effectively infinite queue SRAM the coupled model must
+        reproduce the decoupled runtime exactly -- the paper's complete-
+        decoupling claim, checked per family and opt level."""
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        result, config = _compiled(family, opt)
+        coupled = coupled_runtime(result.streams, config, queue_bytes_per_ge=1 << 40)
+        decoupled = simulate(result.streams, config)
+        assert coupled.cycles == pytest.approx(decoupled.runtime_cycles)
+        assert coupled.slowdown_vs_decoupled == pytest.approx(1.0)
+
+
+class TestMulticoreEquivalence:
+    @pytest.mark.parametrize("opt", ALL_OPTS, ids=lambda o: o.value)
+    def test_relu_multicore_identical(self, monkeypatch, opt):
+        built = get_workload("ReLU").build(k=16, width=8)
+        config = HaacConfig(n_ges=4, sww_bytes=16 * 1024)
+
+        def run():
+            result = simulate_multicore(built.circuit, config, 4, opt=opt)
+            return (
+                result.core_compute_cycles,
+                result.total_traffic_cycles,
+                result.single_core_runtime_s,
+                result.shards,
+            )
+
+        vectorized, reference = _both_engines(monkeypatch, run)
+        assert vectorized == reference
+
+    @pytest.mark.parametrize("family", sorted(STDLIB_FAMILIES))
+    def test_families_multicore_identical(self, monkeypatch, family):
+        config = HaacConfig(n_ges=4, sww_bytes=16 * 1024)
+        circuit = _circuit(family)
+
+        def run():
+            result = simulate_multicore(circuit, config, 2)
+            return (
+                result.core_compute_cycles,
+                result.total_traffic_cycles,
+                result.single_core_runtime_s,
+            )
+
+        vectorized, reference = _both_engines(monkeypatch, run)
+        assert vectorized == reference
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("opt", ALL_OPTS, ids=lambda o: o.value)
+class TestExhaustiveAes:
+    """All-families x all-opt-levels is the classes above; this adds the
+    200k-gate AES-128 flagship at every opt level."""
+
+    def test_aes128_all_models_identical(self, monkeypatch, opt):
+        result, config = _compiled("aes128", opt, sww_bytes=64 * 1024)
+
+        def run():
+            return (
+                _sim_snapshot(result.streams, config),
+                _coupled_snapshot(result.streams, config),
+            )
+
+        vectorized, reference = _both_engines(monkeypatch, run)
+        assert vectorized == reference

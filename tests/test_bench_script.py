@@ -1,4 +1,4 @@
-"""scripts/bench_throughput.py smoke: runs and emits schema-stable JSON."""
+"""Bench tooling smoke tests: throughput/sim scripts + regression gate."""
 
 import json
 import pathlib
@@ -7,6 +7,8 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 SCRIPT = ROOT / "scripts" / "bench_throughput.py"
+SIM_SCRIPT = ROOT / "scripts" / "bench_sim.py"
+CHECK_SCRIPT = ROOT / "scripts" / "check_bench_regression.py"
 
 
 def test_bench_throughput_quick_emits_valid_json(tmp_path):
@@ -43,3 +45,128 @@ def test_bench_throughput_rejects_unknown_circuit():
         timeout=60,
     )
     assert proc.returncode != 0
+
+
+def test_bench_sim_quick_merges_into_report(tmp_path):
+    out = tmp_path / "BENCH_throughput.json"
+    # Pre-seed a garbling report so the merge path is exercised.
+    out.write_text(json.dumps({
+        "schema": "repro.bench_throughput/v1",
+        "backends": {"scalar": {"garble": {"gates_per_s": 1.0},
+                                "evaluate": {"gates_per_s": 1.0}}},
+    }))
+    proc = subprocess.run(
+        [sys.executable, str(SIM_SCRIPT), "--quick", "--json", str(out)],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    data = json.loads(out.read_text())
+    assert data["schema"] == "repro.bench_throughput/v1"
+    assert "scalar" in data["backends"]  # merge preserved existing section
+    sim = data["sim"]
+    assert sim["schema"] == "repro.bench_sim/v1"
+    assert sim["circuit"]["gates"] > 0
+    for model in ("decoupled", "coupled", "pull_based", "multicore"):
+        entry = sim["models"][model]
+        assert entry["seconds"] > 0
+        assert entry["cycles_per_s"] > 0
+    multicore = sim["models"]["multicore"]
+    assert multicore["cold_seconds"] >= multicore["warm_seconds"] * 0.5
+    assert multicore["cache_stats"]["hits"] > 0
+
+
+def _report(scale=1.0, drop=()):
+    """Synthetic BENCH_throughput.json content for the regression gate."""
+    report = {
+        "schema": "repro.bench_throughput/v1",
+        "backends": {
+            "scalar": {
+                "garble": {"gates_per_s": 40_000.0 * scale},
+                "evaluate": {"gates_per_s": 60_000.0 * scale},
+            },
+        },
+        "sim": {
+            "schema": "repro.bench_sim/v1",
+            "models": {
+                "decoupled": {"cycles_per_s": 400_000.0 * scale},
+                "multicore": {"cycles_per_s": 15_000.0 * scale},
+            },
+        },
+    }
+    for name in drop:
+        report["sim"]["models"].pop(name, None)
+    return report
+
+
+def _run_check(tmp_path, current, baseline, extra=()):
+    current_path = tmp_path / "current.json"
+    baseline_path = tmp_path / "baseline.json"
+    current_path.write_text(json.dumps(current))
+    baseline_path.write_text(json.dumps(baseline))
+    return subprocess.run(
+        [sys.executable, str(CHECK_SCRIPT), str(current_path),
+         "--baseline", str(baseline_path), *extra],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        timeout=60,
+    )
+
+
+def test_check_regression_passes_within_threshold(tmp_path):
+    proc = _run_check(tmp_path, _report(scale=0.85), _report())
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "ok:" in proc.stdout
+
+
+def test_check_regression_fails_beyond_threshold(tmp_path):
+    proc = _run_check(tmp_path, _report(scale=0.5), _report())
+    assert proc.returncode == 1
+    assert "REGRESSION" in proc.stdout
+    assert "backends.scalar.garble.gates_per_s" in proc.stdout
+    assert "sim.models.multicore.cycles_per_s" in proc.stdout
+
+
+def test_check_regression_fails_on_missing_metric(tmp_path):
+    proc = _run_check(
+        tmp_path, _report(drop=("multicore",)), _report()
+    )
+    assert proc.returncode == 1
+    assert "missing from current report" in proc.stdout
+
+
+def test_check_regression_threshold_flag(tmp_path):
+    proc = _run_check(
+        tmp_path, _report(scale=0.5), _report(), extra=["--threshold", "0.6"]
+    )
+    assert proc.returncode == 0
+
+
+def test_check_regression_missing_files(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, str(CHECK_SCRIPT), str(tmp_path / "nope.json")],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        timeout=60,
+    )
+    assert proc.returncode == 2
+
+
+def test_committed_baseline_is_valid():
+    """benchmarks/BENCH_baseline.json stays parseable with tracked metrics."""
+    baseline = json.loads((ROOT / "benchmarks" / "BENCH_baseline.json").read_text())
+    assert baseline["schema"] == "repro.bench_throughput/v1"
+    assert baseline["backends"]
+    assert baseline["sim"]["models"]
+    sys.path.insert(0, str(ROOT / "scripts"))
+    try:
+        from check_bench_regression import tracked_metrics
+    finally:
+        sys.path.pop(0)
+    metrics = tracked_metrics(baseline)
+    assert len(metrics) >= 6
+    assert all(value > 0 for value in metrics.values())
