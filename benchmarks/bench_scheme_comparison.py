@@ -6,11 +6,14 @@ communication (table bytes) and garbling work (hash calls), ending at
 the Half-Gate + FreeXOR construction the hardware implements.
 """
 
+import os
+
 from repro.analysis.report import render_table
 from repro.circuits.builder import CircuitBuilder
 from repro.circuits.stdlib.integer import add, mul
+from repro.gc.backends import BACKEND_ENV_VAR
 from repro.gc.classic import ClassicScheme, garble_classic, table_bytes_per_gate
-from repro.gc.garble import garble_circuit
+from repro.gc.garble import garble_circuit, garble_circuit_batched
 
 
 def _circuit():
@@ -33,7 +36,13 @@ def _rows(circuit):
             table_bytes_per_gate(scheme),
             garbling.total_table_bytes(),
         ])
-    halfgate = garble_circuit(circuit, seed=1)
+    # The Half-Gate row follows REPRO_GC_BACKEND (unset: the per-gate
+    # reference); both substrates emit identical table counts/bytes.
+    backend = os.environ.get(BACKEND_ENV_VAR) or None
+    if backend is None:
+        halfgate = garble_circuit(circuit, seed=1)
+    else:
+        halfgate = garble_circuit_batched(circuit, seed=1, backend=backend)
     rows.append([
         "half-gate+freexor",
         halfgate.garbled.n_and_gates,

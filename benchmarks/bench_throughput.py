@@ -15,7 +15,11 @@ import json
 import pytest
 
 from repro.gc.backends import available_backends
-from repro.gc.backends.throughput import build_bench_circuit, measure_throughput
+from repro.gc.backends.throughput import (
+    build_bench_circuit,
+    measure_parallel_scaling,
+    measure_throughput,
+)
 
 
 def _report(name: str, record_result, repeats: int = 2) -> dict:
@@ -41,3 +45,20 @@ def test_throughput_aes128(record_result):
     # The acceptance bar for the batched substrate: >= 5x garbler
     # gates/sec over the scalar reference on AES-128.
     assert result["speedup_vs_scalar"]["numpy"]["garble"] >= 5.0
+
+
+@pytest.mark.slow
+def test_parallel_worker_scaling_aes128(record_result):
+    """Record the worker-scaling curve (software GE-scaling analogue).
+
+    Whole-transcript correctness of the parallel backend is asserted by
+    the gc test suite; here we only require the sweep to complete and
+    record real numbers -- whether extra workers help is a property of
+    the host's core count, which the report captures.
+    """
+    circuit = build_bench_circuit("aes128")
+    result = measure_parallel_scaling(circuit, worker_counts=(1, 2, 4), repeats=1)
+    record_result("throughput_parallel_scaling", json.dumps(result, indent=2))
+    for entry in result["workers"].values():
+        assert entry["garble"]["gates_per_s"] > 0
+        assert entry["evaluate"]["gates_per_s"] > 0

@@ -137,7 +137,11 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="small circuit, one repeat"
     )
     parser.add_argument(
-        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+        "--repeats",
+        type=int,
+        default=None,
+        help="best-of-N timing repeats (default: 3, or 1 with --quick; "
+        "an explicit value always wins)",
     )
     parser.add_argument(
         "--json",
@@ -147,7 +151,10 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    repeats = 1 if args.quick else args.repeats
+    if args.repeats is not None:
+        repeats = args.repeats
+    else:
+        repeats = 1 if args.quick else 3
     section = measure_sim(quick=args.quick, repeats=repeats)
 
     out_path = pathlib.Path(args.json)

@@ -14,8 +14,18 @@ Tracked metrics:
 * ``sim.models.<name>.cycles_per_s`` -- timing-simulator throughput per
   model (decoupled / coupled / pull-based / multicore).
 
+The ``parallel`` worker-scaling section is recorded as an artifact but
+deliberately *not* tracked here: its shape depends on the host's core
+count, so comparing it across machines (laptop baseline vs CI runner)
+would only produce noise.
+
 Metrics present in the baseline but missing from the current report are
 also failures -- a silently dropped lane is how regressions hide.
+
+CI runs this check at smoke scale against
+``benchmarks/BENCH_smoke_baseline.json`` with ``--threshold 0.35`` --
+quick-lane circuits are small enough that runner jitter needs the
+relaxed bar (see .github/workflows/ci.yml).
 
 Usage::
 

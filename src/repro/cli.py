@@ -118,8 +118,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_p.add_argument(
         "--backend",
         default=None,
-        help="gc label-hash backend (scalar, numpy, auto); default: "
-        "per-gate reference path",
+        help="gc label-hash backend (scalar, numpy, parallel[:N], auto); "
+        "default: per-gate reference path",
+    )
+    p_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard garbling across N worker processes (selects the "
+        "'parallel' backend; default worker count: $REPRO_GC_WORKERS "
+        "or all cores)",
     )
 
     p_f = sub.add_parser(
@@ -243,12 +252,24 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
     bob = builder.add_evaluator_inputs(args.width)
     builder.mark_outputs([less_than(builder, bob, alice)])
     circuit = builder.build("millionaires")
+    backend = getattr(args, "backend", None)
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        base = backend.split(":", 1)[0] if backend else None
+        if base not in (None, "auto", "parallel"):
+            print(
+                f"--workers applies to the parallel backend, not {backend!r}",
+                file=sys.stderr,
+            )
+            return 2
+        # The explicit flag wins over a count pinned in the spec.
+        backend = f"parallel:{workers}"
     result = run_two_party(
         circuit,
         encode_int(args.alice, args.width),
         encode_int(args.bob, args.width),
         seed=2023,
-        backend=getattr(args, "backend", None),
+        backend=backend,
     )
     richer = "Alice" if result.output_bits[0] else "Bob (or tie)"
     print(f"richer: {richer}")

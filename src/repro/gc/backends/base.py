@@ -11,10 +11,16 @@ arrays instead of scalars.
 Backends are registered by name in a module-level registry and selected
 via :func:`resolve_backend`:
 
-* an explicit name (``"scalar"``, ``"numpy"``) or backend instance wins;
+* an explicit name (``"scalar"``, ``"numpy"``, ``"parallel"``) or
+  backend instance wins;
 * else the ``REPRO_GC_BACKEND`` environment variable;
 * else ``"auto"``: the fastest available backend (NumPy when importable,
   the scalar reference otherwise).
+
+A name may carry a backend-specific option after a colon -- the
+``parallel`` backend reads its worker count from the spec, e.g.
+``"parallel:4"`` or ``REPRO_GC_BACKEND=parallel:8``.  Backends that
+take no options reject specs with a suffix.
 
 Every backend must be bitwise-identical to the scalar reference
 (:mod:`repro.gc.hashing`); the test suite cross-checks whole-circuit
@@ -35,6 +41,7 @@ __all__ = [
     "available_backends",
     "registered_backends",
     "resolve_backend",
+    "split_spec",
     "BACKEND_ENV_VAR",
 ]
 
@@ -89,19 +96,36 @@ def registered_backends() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def split_spec(name: str) -> "tuple[str, Optional[str]]":
+    """Split ``"parallel:4"`` into ``("parallel", "4")``; no-colon specs
+    return ``(name, None)``."""
+    base, sep, arg = name.partition(":")
+    return base, (arg if sep else None)
+
+
 def get_backend(name: str) -> LabelHashBackend:
     """Instantiate the backend registered under ``name``.
 
-    Raises :class:`BackendUnavailable` if the name is unknown or the
-    backend cannot run here (missing optional dependency).
+    ``name`` may be a bare registry name or a ``name:options`` spec
+    (e.g. ``"parallel:4"``).  Raises :class:`BackendUnavailable` if the
+    name is unknown, the backend cannot run here (missing optional
+    dependency), or it does not accept the given options.
     """
+    base, arg = split_spec(name)
     try:
-        factory = _REGISTRY[name]
+        factory = _REGISTRY[base]
     except KeyError:
         raise BackendUnavailable(
-            f"unknown gc backend {name!r}; registered: {registered_backends()}"
+            f"unknown gc backend {base!r}; registered: {registered_backends()}"
         ) from None
-    return factory()
+    if arg is None:
+        return factory()
+    try:
+        return factory(arg)
+    except TypeError:
+        raise BackendUnavailable(
+            f"gc backend {base!r} does not accept options (got {name!r})"
+        ) from None
 
 
 def available_backends() -> List[str]:

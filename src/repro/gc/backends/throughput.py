@@ -11,6 +11,7 @@ trajectories mechanically.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -21,8 +22,15 @@ from ...circuits.stdlib.integer import add, less_than, mul
 from ..evaluate import evaluate_circuit, evaluate_circuit_batched
 from ..garble import garble_circuit, garble_circuit_batched
 from .base import BackendUnavailable, get_backend
+from .parallel import ParallelLabelHashBackend
 
-__all__ = ["SCHEMA", "BENCH_CIRCUITS", "build_bench_circuit", "measure_throughput"]
+__all__ = [
+    "SCHEMA",
+    "BENCH_CIRCUITS",
+    "build_bench_circuit",
+    "measure_throughput",
+    "measure_parallel_scaling",
+]
 
 SCHEMA = "repro.bench_throughput/v1"
 
@@ -159,4 +167,88 @@ def measure_throughput(
         "backends": results,
         "skipped": skipped,
         "speedup_vs_scalar": speedups,
+    }
+
+
+def measure_parallel_scaling(
+    circuit: Circuit,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    repeats: int = 2,
+    seed: int = 0,
+    rekeyed: bool = True,
+    min_batch: Optional[int] = None,
+) -> Dict:
+    """Gates-per-second of the ``parallel`` backend per worker count.
+
+    The software analogue of the paper's GE-scaling figure: the same
+    circuit garbled/evaluated while the AND-level shard pool grows.
+    ``workers = 1`` runs the serial batched path (the pool is bypassed),
+    so ``speedup_vs_1`` is exactly "parallel vs serial batched".
+    ``cpu_count`` is recorded because the curve is only meaningful
+    relative to the cores that were actually available.
+
+    Timings are best-of-``repeats``; the first repeat at each worker
+    count also pays the one-time pool spawn, which best-of absorbs.
+    """
+    stats = circuit.stats()
+    n_gates = stats.gates
+    n_and = stats.and_gates
+
+    entries: Dict[str, Dict] = {}
+    pool_fallbacks: Dict[str, str] = {}
+    reference = garble_circuit_batched(circuit, seed=seed, rekeyed=rekeyed)
+    input_labels = [
+        reference.input_label(wire, 0) for wire in range(circuit.n_inputs)
+    ]
+    for workers in worker_counts:
+        backend = ParallelLabelHashBackend(workers=workers, min_batch=min_batch)
+        garble_s = _time_best(
+            lambda: garble_circuit_batched(
+                circuit, seed=seed, rekeyed=rekeyed, backend=backend
+            ),
+            repeats,
+        )
+        evaluate_s = _time_best(
+            lambda: evaluate_circuit_batched(
+                circuit, reference.garbled, input_labels,
+                rekeyed=rekeyed, backend=backend,
+            ),
+            repeats,
+        )
+        entries[str(workers)] = {
+            "garble": {
+                "seconds": garble_s,
+                "gates_per_s": n_gates / garble_s if garble_s else None,
+                "and_gates_per_s": n_and / garble_s if garble_s else None,
+            },
+            "evaluate": {
+                "seconds": evaluate_s,
+                "gates_per_s": n_gates / evaluate_s if evaluate_s else None,
+                "and_gates_per_s": n_and / evaluate_s if evaluate_s else None,
+            },
+            "pool_batches": backend.pool_batches,
+        }
+        if backend.pool_disabled_reason is not None:
+            pool_fallbacks[str(workers)] = backend.pool_disabled_reason
+
+    # Only a real 1-worker entry (the serial batched path) is a valid
+    # baseline; a sweep like --workers 2,4 records no speedup column
+    # rather than a mislabeled one.
+    speedups: Dict[str, Dict[str, float]] = {}
+    base = entries.get("1")
+    for workers, entry in entries.items():
+        if base is None or workers == "1":
+            continue
+        speedups[workers] = {
+            "garble": base["garble"]["seconds"] / entry["garble"]["seconds"],
+            "evaluate": base["evaluate"]["seconds"] / entry["evaluate"]["seconds"],
+        }
+    return {
+        "cpu_count": os.cpu_count(),
+        "inner": ParallelLabelHashBackend(workers=1).inner_name,
+        "rekeyed": rekeyed,
+        "repeats": repeats,
+        "workers": entries,
+        "speedup_vs_1": speedups,
+        "pool_fallbacks": pool_fallbacks,
     }

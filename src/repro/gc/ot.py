@@ -27,9 +27,18 @@ the point, ``A^b`` for the pad.  ``choose_batch``/``decrypt_batch``
 therefore precompute the ``base^(2^i)`` square chain once per batch and
 reduce every per-bit exponentiation to bare multiplications: one
 squaring pass over all choice bits instead of one full square-and-
-multiply per bit.  The batched path draws the same PRG stream and
-computes the same group elements, so transcripts are bit-identical to
-the per-bit path (asserted by the test suite).
+multiply per bit.
+
+The sender side is batched too: ``OtSender.encrypt`` pays *two*
+variable-base exponentiations per bit (``B^a`` and ``(B/A)^a``), but
+``(B/A)^a = B^a * (A^{-1})^a`` and the second factor depends only on
+the batch's ephemeral key -- ``encrypt_batch`` computes it once and
+reduces every bit to one variable-base exponentiation plus one
+multiplication.
+
+All batched paths draw the same PRG stream and compute the same group
+elements, so transcripts are bit-identical to the per-bit paths
+(asserted by the test suite).
 """
 
 from __future__ import annotations
@@ -131,6 +140,53 @@ class OtSender:
         k1 = _kdf(shared1, 2 * index + 1)
         return message0 ^ k0, message1 ^ k1
 
+    def _a_inv_pow_a(self) -> int:
+        """The batch-constant pad factor ``(A^{-1})^a``, computed once
+        per sender (a single builtin ``pow`` -- a square chain only
+        pays off when shared across many exponentiations, and this
+        value *is* the shared part)."""
+        cached = getattr(self, "_a_inv_pow_a_cache", None)
+        if cached is None:
+            cached = pow(self._a_inv, self._a, GROUP_P)
+            self._a_inv_pow_a_cache = cached
+        return cached
+
+    def encrypt_batch(
+        self,
+        points: Sequence[int],
+        message_pairs: Sequence[Tuple[int, int]],
+        start_index: int = 0,
+    ) -> List[Tuple[int, int]]:
+        """Batched ``encrypt`` for OTs ``start_index ..`` onwards.
+
+        One variable-base exponentiation per bit instead of two: the
+        second pad base is ``(B/A)^a = B^a * (A^{-1})^a``, and the
+        ``(A^{-1})^a`` factor is computed once and shared by every OT
+        of the batch (and every batch of this sender).  The shared
+        values -- hence the ciphertexts -- are bit-identical to per-bit
+        :meth:`encrypt` calls with the same indices.
+        """
+        if len(points) != len(message_pairs):
+            raise ValueError("points and message pairs must align")
+        for point in points:
+            if not 0 < point < GROUP_P:
+                raise ValueError("invalid receiver point")
+        factor = self._a_inv_pow_a()
+        ciphers: List[Tuple[int, int]] = []
+        for offset, (point, (message0, message1)) in enumerate(
+            zip(points, message_pairs)
+        ):
+            shared0 = pow(point, self._a, GROUP_P)
+            shared1 = shared0 * factor % GROUP_P
+            index = start_index + offset
+            ciphers.append(
+                (
+                    message0 ^ _kdf(shared0, 2 * index),
+                    message1 ^ _kdf(shared1, 2 * index + 1),
+                )
+            )
+        return ciphers
+
 
 @dataclass
 class OtReceiver:
@@ -224,18 +280,17 @@ def run_ot_batch(
 ) -> List[int]:
     """Run a batch of OTs, one per (message pair, choice bit).
 
-    Uses the receiver's batched fixed-base path; transcripts match the
-    per-bit ``choose``/``decrypt`` sequence exactly.
+    Uses the batched fixed-base paths on both sides; transcripts match
+    the per-bit ``choose``/``encrypt``/``decrypt`` sequence exactly.
     """
     if len(pairs) != len(choices):
         raise ValueError("pairs and choices must align")
     sender = OtSender(LabelPrg(seed))
     receiver = OtReceiver(LabelPrg(seed + 1), sender.public)
     points_and_secrets = receiver.choose_batch(choices)
-    cipher_pairs = [
-        sender.encrypt(index, point, m0, m1)
-        for index, ((m0, m1), (point, _)) in enumerate(zip(pairs, points_and_secrets))
-    ]
+    cipher_pairs = sender.encrypt_batch(
+        [point for point, _ in points_and_secrets], list(pairs)
+    )
     return receiver.decrypt_batch(
         choices, [secret for _, secret in points_and_secrets], cipher_pairs
     )

@@ -113,13 +113,14 @@ class TwoPartySession:
         )
         points = up.recv("ot_points")
 
-        cipher_pairs = []
-        for index, (wire, point) in enumerate(
-            zip(circuit.evaluator_input_wires, points)
-        ):
-            m0 = garbler.input_label(wire, 0)
-            m1 = garbler.input_label(wire, 1)
-            cipher_pairs.append(sender.encrypt(index, point, m0, m1))
+        # Batched fixed-base sender encryption: one variable-base
+        # exponentiation per bit, the (A^{-1})^a pad factor shared
+        # across the batch (transcript-identical to per-bit encrypt).
+        label_pairs = [
+            (garbler.input_label(wire, 0), garbler.input_label(wire, 1))
+            for wire in circuit.evaluator_input_wires
+        ]
+        cipher_pairs = sender.encrypt_batch(points, label_pairs)
         down.send(
             "ot_ciphers", cipher_pairs, 2 * _LABEL_BYTES * len(cipher_pairs)
         )

@@ -14,7 +14,8 @@ CHECK_SCRIPT = ROOT / "scripts" / "check_bench_regression.py"
 def test_bench_throughput_quick_emits_valid_json(tmp_path):
     out = tmp_path / "BENCH_throughput.json"
     proc = subprocess.run(
-        [sys.executable, str(SCRIPT), "--quick", "--json", str(out)],
+        [sys.executable, str(SCRIPT), "--quick", "--json", str(out),
+         "--workers", "1,2"],
         capture_output=True,
         text=True,
         cwd=ROOT,
@@ -34,6 +35,29 @@ def test_bench_throughput_quick_emits_valid_json(tmp_path):
     # Any skipped backend must say why.
     for skipped in data["skipped"]:
         assert skipped["backend"] and skipped["reason"]
+    # Worker-scaling curve: one entry per requested count, plus the
+    # context needed to interpret it (cores actually visible).
+    scaling = data["parallel"]
+    assert scaling["cpu_count"] >= 1
+    assert sorted(scaling["workers"]) == ["1", "2"]
+    for entry in scaling["workers"].values():
+        assert entry["garble"]["gates_per_s"] > 0
+        assert entry["evaluate"]["gates_per_s"] > 0
+    assert "2" in scaling["speedup_vs_1"]
+
+
+def test_bench_throughput_workers_none_skips_sweep(tmp_path):
+    out = tmp_path / "BENCH_throughput.json"
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--quick", "--json", str(out),
+         "--workers", "none"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "parallel" not in json.loads(out.read_text())
 
 
 def test_bench_throughput_rejects_unknown_circuit():
