@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Queue-size x DRAM-bandwidth scenario scan over the timing models.
+
+The ROADMAP's design-space question: how much queue SRAM does the
+decoupling claim actually need, and where does each workload flip from
+compute- to memory-bound as the streaming bandwidth scales?  With the
+persistent compile cache and the level-parallel NumPy replay each
+workload compiles once and then every scenario point is a cheap
+re-simulation, so the full grid runs in seconds.
+
+Two sweeps per workload (>= 3 workloads by default):
+
+* **queue sweep** -- ``coupled_runtime`` at increasing
+  ``queue_bytes_per_ge``; reports cycles, prefetch-stall cycles and the
+  slowdown versus the fully decoupled runtime (which generous SRAM must
+  converge to -- the paper's complete-decoupling claim).
+* **bandwidth sweep** -- the decoupled model across DRAM bandwidths
+  from well below DDR4 to above HBM2; reports runtime, the
+  compute/traffic split and the memory-bound flag per point.
+
+Results land in ``BENCH_scenarios.json`` (schema
+``repro.bench_scenarios/v1``), a standalone artifact next to
+``BENCH_throughput.json``.
+
+Usage::
+
+    python scripts/bench_scenarios.py                    # 3 workloads, full grid
+    python scripts/bench_scenarios.py --quick
+    python scripts/bench_scenarios.py --workloads ReLU,Hamm,MatMult,GradDesc
+    python scripts/bench_scenarios.py --queues 256,1024,65536 --bandwidths 8.8,35.2,512
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.core.compiler import OptLevel, compile_circuit  # noqa: E402
+from repro.sim.config import HaacConfig  # noqa: E402
+from repro.sim.coupled import coupled_runtime  # noqa: E402
+from repro.sim.dram import DramSpec  # noqa: E402
+from repro.sim.engine import engine_mode  # noqa: E402
+from repro.sim.timing import simulate  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+SCENARIOS_SCHEMA = "repro.bench_scenarios/v1"
+
+DEFAULT_WORKLOADS = "ReLU,Hamm,MatMult"
+DEFAULT_QUEUES = "64,256,1024,4096,16384,65536"
+#: GB/s grid: half/quarter DDR4-4400 through 2x HBM2.
+DEFAULT_BANDWIDTHS = "8.8,17.6,35.2,70.4,140.8,512,1024"
+
+#: Small builds for the smoke lane (full scaled builds otherwise).
+QUICK_PARAMS = {
+    "ReLU": {"k": 32, "width": 8},
+    "Hamm": {"n_bits": 256},
+    "MatMult": {"n": 2, "width": 8},
+    "GradDesc": {"n_points": 2, "rounds": 1},
+    "DotProd": {"n": 4, "width": 8},
+    "Triangle": {"n": 8},
+    "BubbSt": {"n": 4, "width": 8},
+    "Merse": {"state_n": 4, "state_m": 2, "n_outputs": 4},
+}
+
+
+def scan_workload(
+    name: str,
+    config: HaacConfig,
+    queues: list[int],
+    bandwidths: list[float],
+    quick: bool,
+    cache,
+) -> dict:
+    """Compile one workload and run both scenario sweeps."""
+    workload = get_workload(name)
+    if quick and name in QUICK_PARAMS:
+        built = workload.build(**QUICK_PARAMS[name])
+    else:
+        built = workload.build_scaled()
+    start = time.perf_counter()
+    compiled = compile_circuit(
+        built.circuit, config.window, config.n_ges,
+        opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+        cache=cache,
+    )
+    compile_seconds = time.perf_counter() - start
+    streams = compiled.streams
+
+    start = time.perf_counter()
+    decoupled = simulate(streams, config)
+    queue_sweep = []
+    for queue_bytes in queues:
+        point = coupled_runtime(streams, config, queue_bytes)
+        queue_sweep.append({
+            "queue_bytes_per_ge": queue_bytes,
+            "cycles": point.cycles,
+            "stall_cycles": point.stall_cycles,
+            "slowdown_vs_decoupled": point.slowdown_vs_decoupled,
+        })
+
+    bandwidth_sweep = []
+    for gb_s in bandwidths:
+        spec = DramSpec(name=f"{gb_s:g}GB/s", bandwidth_gb_s=gb_s)
+        sim = simulate(streams, config.with_dram(spec))
+        bandwidth_sweep.append({
+            "dram": spec.name,
+            "gb_s": gb_s,
+            "runtime_cycles": sim.runtime_cycles,
+            "compute_cycles": sim.compute_cycles,
+            "traffic_cycles": sim.traffic_cycles,
+            "memory_bound": sim.memory_bound,
+        })
+    sweep_seconds = time.perf_counter() - start
+
+    return {
+        "params": dict(built.params),
+        "gates": len(built.circuit.gates),
+        "instructions": len(streams.program.instructions),
+        "decoupled_cycles": decoupled.runtime_cycles,
+        "compile_seconds": compile_seconds,
+        "sweep_seconds": sweep_seconds,
+        "queue_sweep": queue_sweep,
+        "bandwidth_sweep": bandwidth_sweep,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workloads",
+        default=DEFAULT_WORKLOADS,
+        help=f"comma-separated workload names (default: {DEFAULT_WORKLOADS})",
+    )
+    parser.add_argument(
+        "--queues",
+        default=DEFAULT_QUEUES,
+        help="comma-separated queue_bytes_per_ge sweep "
+        f"(default: {DEFAULT_QUEUES})",
+    )
+    parser.add_argument(
+        "--bandwidths",
+        default=DEFAULT_BANDWIDTHS,
+        help="comma-separated DRAM bandwidths in GB/s "
+        f"(default: {DEFAULT_BANDWIDTHS})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small circuits (smoke lane)"
+    )
+    parser.add_argument(
+        "--ges", type=int, default=4, help="gate engines (default: 4)"
+    )
+    parser.add_argument(
+        "--sww-kb", type=int, default=16, help="SWW size in KB (default: 16)"
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=True,
+        default=None,
+        help="persistent compile cache: flag alone for the default "
+        "directory, or a path (default: $REPRO_PROG_CACHE)",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_scenarios.json",
+        help="output artifact (default: BENCH_scenarios.json)",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    queues = [int(q) for q in args.queues.split(",") if q.strip()]
+    bandwidths = [float(b) for b in args.bandwidths.split(",") if b.strip()]
+    if len(workloads) < 1:
+        parser.error("need at least one workload")
+
+    config = HaacConfig(n_ges=args.ges, sww_bytes=args.sww_kb * 1024)
+    report = {
+        "schema": SCENARIOS_SCHEMA,
+        "engine": engine_mode(),
+        "config": {
+            "n_ges": config.n_ges,
+            "sww_bytes": config.sww_bytes,
+            "quick": args.quick,
+        },
+        "workloads": {},
+    }
+    for name in workloads:
+        section = scan_workload(
+            name, config, queues, bandwidths, args.quick, args.cache
+        )
+        report["workloads"][name] = section
+        knee = next(
+            (
+                point["queue_bytes_per_ge"]
+                for point in section["queue_sweep"]
+                if point["slowdown_vs_decoupled"] <= 1.01
+            ),
+            None,
+        )
+        flip = next(
+            (
+                point["gb_s"]
+                for point in section["bandwidth_sweep"]
+                if not point["memory_bound"]
+            ),
+            None,
+        )
+        print(
+            f"{name:>9}: {section['instructions']:>7} instrs, "
+            f"compile {section['compile_seconds'] * 1000:7.1f} ms, "
+            f"{len(queues) + len(bandwidths)} scenarios in "
+            f"{section['sweep_seconds'] * 1000:7.1f} ms | "
+            f"decoupled within 1% at {knee}B/GE queue, "
+            f"compute-bound from {flip} GB/s"
+        )
+
+    out_path = pathlib.Path(args.json)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,16 +2,20 @@
 """Timing-simulator throughput: multicore / coupled / pull-based models.
 
 Measures simulated-cycles-per-wall-second (and instructions/s) for the
-vectorized flat-array engine on the decoupled, coupled, pull-based and
-multicore models, plus cold-vs-warm compile time through the persistent
-program cache.  Results are merged into ``BENCH_throughput.json`` under
-the ``"sim"`` key (sub-schema ``repro.bench_sim/v1``) so
+default engine on the decoupled, coupled, pull-based and multicore
+models, plus cold-vs-warm compile time through the persistent program
+cache, plus an engine comparison (``numpy`` level-parallel vs
+``vectorized`` flat loop vs per-gate ``reference``) on the decoupled
+replay -- at full scale that comparison runs on AES-128, the PR 4
+acceptance gate for the level-parallel engine (>= 3x vs the flat
+loop).  Results are merged into ``BENCH_throughput.json`` under the
+``"sim"`` key (sub-schema ``repro.bench_sim/v1``) so
 ``scripts/check_bench_regression.py`` can track them PR over PR
 alongside the garbling numbers.
 
 Usage::
 
-    python scripts/bench_sim.py                 # full circuits
+    python scripts/bench_sim.py                 # full circuits + AES engines
     python scripts/bench_sim.py --quick         # smoke-test lane
     python scripts/bench_sim.py --json out.json
 """
@@ -51,6 +55,35 @@ def _best_of(repeats, fn):
         if best is None or elapsed < best:
             best = elapsed
     return best, value
+
+
+def measure_engines(streams, config, repeats: int) -> dict:
+    """Decoupled replay under every engine on one compiled program.
+
+    Times warm replays (a throwaway first run materialises the level
+    partition / NumPy plan, exactly what sweeps amortise) and reports
+    the headline ``speedup_numpy_vs_vectorized``.
+    """
+    n_instr = len(streams.program.instructions)
+    entries = {}
+    for engine in ("numpy", "vectorized", "reference"):
+        pinned = config.with_sim_engine(engine)
+        simulate(streams, pinned)  # warm the derived plan/caches
+        seconds, sim = _best_of(repeats, lambda: simulate(streams, pinned))
+        entries[engine] = {
+            "seconds": seconds,
+            "instructions": n_instr,
+            "sim_cycles": float(sim.runtime_cycles),
+            "cycles_per_s": float(sim.runtime_cycles) / seconds,
+            "instr_per_s": n_instr / seconds,
+        }
+    entries["speedup_numpy_vs_vectorized"] = (
+        entries["vectorized"]["seconds"] / entries["numpy"]["seconds"]
+    )
+    entries["speedup_numpy_vs_reference"] = (
+        entries["reference"]["seconds"] / entries["numpy"]["seconds"]
+    )
+    return entries
 
 
 def measure_sim(quick: bool = False, repeats: int = 3) -> dict:
@@ -119,6 +152,23 @@ def measure_sim(quick: bool = False, repeats: int = 3) -> dict:
         "cache_stats": store.stats.as_dict(),
     }
 
+    # Engine comparison on the decoupled replay.  The smoke lane uses
+    # the (small) bench circuit; the full run measures AES-128, the
+    # scale the level-parallel engine is built for.
+    engines = {"circuit": circuit.name, **measure_engines(streams, config, repeats)}
+    if not quick:
+        from repro.circuits.stdlib.aes_circuit import build_aes128_circuit
+
+        aes_config = HaacConfig(n_ges=4, sww_bytes=64 * 1024, dram=HBM2)
+        aes_compiled = compile_circuit(
+            build_aes128_circuit(), aes_config.window, aes_config.n_ges,
+            opt=OptLevel.RO_RN_ESW, params=aes_config.schedule_params(),
+        )
+        engines["aes128"] = {
+            "instructions": len(aes_compiled.streams.program.instructions),
+            **measure_engines(aes_compiled.streams, aes_config, repeats),
+        }
+
     return {
         "schema": SIM_SCHEMA,
         "circuit": {
@@ -128,6 +178,7 @@ def measure_sim(quick: bool = False, repeats: int = 3) -> dict:
             "params": relu_params,
         },
         "models": models,
+        "engines": engines,
     }
 
 
@@ -180,6 +231,25 @@ def main(argv=None) -> int:
                 f"({entry['warm_speedup']:.1f}x)"
             )
         print(line)
+
+    def print_engines(label, entries):
+        print(f"engines ({label}):")
+        for engine in ("numpy", "vectorized", "reference"):
+            entry = entries[engine]
+            print(
+                f"  {engine:>10}: {entry['cycles_per_s']:>14,.0f} sim "
+                f"cycles/s ({entry['seconds'] * 1000:.2f} ms)"
+            )
+        print(
+            f"  numpy speedup: {entries['speedup_numpy_vs_vectorized']:.2f}x "
+            f"vs vectorized, {entries['speedup_numpy_vs_reference']:.2f}x "
+            f"vs reference"
+        )
+
+    engines = section["engines"]
+    print_engines(engines["circuit"], engines)
+    if "aes128" in engines:
+        print_engines("aes128 decoupled replay", engines["aes128"])
     print(f"wrote {out_path}")
     return 0
 

@@ -96,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[opt.value for opt in OptLevel],
         default=OptLevel.RO_RN_ESW.value,
     )
+    p_s.add_argument(
+        "--engine",
+        choices=["numpy", "vectorized", "reference"],
+        default=None,
+        help="timing-replay engine (default: $REPRO_SIM_ENGINE, else "
+        "the level-parallel numpy engine when NumPy is importable)",
+    )
     add_cache_flag(p_s)
 
     p_cache = sub.add_parser(
@@ -224,6 +231,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         sww_bytes=args.sww_kb * 1024,
         dram=HBM2 if args.dram == "hbm2" else DDR4,
         role=Role.GARBLER if args.role == "garbler" else Role.EVALUATOR,
+        sim_engine=getattr(args, "engine", None),
     )
     result = compile_circuit(
         built.circuit, config.window, config.n_ges,

@@ -69,7 +69,9 @@ __all__ = [
 
 CACHE_ENV_VAR = "REPRO_PROG_CACHE"
 #: Bump whenever compiler output for an unchanged key could change.
-CACHE_SCHEMA = 1
+#: v2: entries carry the engine's flat arrays + dependence-level
+#: partition (repro.sim.engine.CompiledArrays) on the stream set.
+CACHE_SCHEMA = 2
 
 _OFF_VALUES = ("0", "off", "none", "disabled", "false", "no")
 _ON_VALUES = ("1", "on", "default", "true", "yes", "auto")

@@ -65,17 +65,42 @@ class HaacProgram:
         """Physical output address of instruction ``position``."""
         return self.n_inputs + position
 
+    def _counts(self) -> "tuple[int, int, int]":
+        """(AND, XOR, live) instruction counts, memoized.
+
+        Every ``simulate`` call charges traffic by these counts; at
+        AES scale the naive generator sums cost more than the replay
+        itself.  Instructions are immutable after construction (every
+        pass builds a new program), so the counts are cached keyed by
+        the instruction-list length as a cheap tamper tripwire --
+        mirroring ``circuit_digest``'s memo.
+        """
+        cached = self.__dict__.get("_counts_cache")
+        if cached is not None and cached[0] == len(self.instructions):
+            return cached[1]
+        n_and = n_xor = n_live = 0
+        for instr in self.instructions:
+            if instr.op is HaacOp.AND:
+                n_and += 1
+            elif instr.op is HaacOp.XOR:
+                n_xor += 1
+            if instr.live:
+                n_live += 1
+        counts = (n_and, n_xor, n_live)
+        self._counts_cache = (len(self.instructions), counts)
+        return counts
+
     @property
     def n_and(self) -> int:
-        return sum(1 for i in self.instructions if i.op is HaacOp.AND)
+        return self._counts()[0]
 
     @property
     def n_xor(self) -> int:
-        return sum(1 for i in self.instructions if i.op is HaacOp.XOR)
+        return self._counts()[1]
 
     @property
     def n_live(self) -> int:
-        return sum(1 for i in self.instructions if i.live)
+        return self._counts()[2]
 
     def live_fraction(self) -> float:
         """Fraction of outputs written back to DRAM (Table 2 spent = 1-live)."""

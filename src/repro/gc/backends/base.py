@@ -79,6 +79,26 @@ class LabelHashBackend(abc.ABC):
         false) applied element-wise.
         """
 
+    # -- whole-program schedule residency (vectorized backends only) --
+    #
+    # The level-scheduled garbler/evaluator pre-expand every AND gate's
+    # key schedules once and then hash against *rows* of that expansion
+    # per level.  These hooks let a backend keep the expansion resident
+    # wherever its compute lives (the parallel backend pins it in
+    # worker-shared memory and ships only row indices per level); the
+    # defaults keep the expansion as the plain in-process array.
+
+    def expand_keys_program(self, keys):
+        """Expand a whole program's gate keys; returns an opaque
+        schedule handle for :meth:`hash_schedule_rows`.  Requires the
+        array primitives (``vectorized`` backends)."""
+        return self.expand_keys(keys)
+
+    def hash_schedule_rows(self, blocks, schedules, rows):
+        """Hash ``blocks[i]`` under schedule row ``rows[i]`` of the
+        handle returned by :meth:`expand_keys_program`."""
+        return self.hash_with_schedules(blocks, schedules[rows])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"
 

@@ -30,6 +30,15 @@ Design invariants (see DESIGN.md section 7):
   pre-expands whole-program schedules (``expand_keys``), mirroring HAAC
   streaming round keys to each gate engine rather than broadcasting
   them.
+* **Worker-resident schedules.**  ``expand_keys_program`` shards the
+  whole-program expansion *into a dedicated resident block* that stays
+  mapped in every worker (the attachment LRU keeps it hot); per-level
+  ``hash_schedule_rows`` calls then ship 8-byte row indices instead of
+  re-copying 176-byte schedule rows through the transport blocks every
+  AND level.  A generation stamp ties each :class:`ResidentSchedules`
+  handle to the pool state that wrote it; on any mismatch (pool died,
+  another program expanded since) the call silently degrades to the
+  parent-side copy of the expansion.
 * **Silent serial fallback.**  If the pool cannot start (or dies), the
   backend permanently falls back to its in-process inner backend and
   records the reason in :attr:`pool_disabled_reason`.  Small batches
@@ -45,6 +54,7 @@ or pin the count in the spec: ``backend="parallel:4"``,
 from __future__ import annotations
 
 import atexit
+import itertools
 import multiprocessing
 import os
 from collections import OrderedDict
@@ -56,6 +66,7 @@ from .base import BackendUnavailable, LabelHashBackend, get_backend
 
 __all__ = [
     "ParallelLabelHashBackend",
+    "ResidentSchedules",
     "WORKERS_ENV_VAR",
     "shard_bounds",
     "shutdown_pools",
@@ -148,8 +159,13 @@ def _worker_attach(name: str) -> shared_memory.SharedMemory:
 
 def _run_shard(task: Tuple) -> int:
     """Execute one shard: read slice, hash, write slice.  Returns the
-    number of items processed (a cheap liveness signal)."""
-    kind, in_name, out_name, start, stop, n, rekeyed = task
+    number of items processed (a cheap liveness signal).
+
+    ``extra`` carries kind-specific primitives; for ``sched_rows`` it
+    names the resident whole-program schedule block (attached once per
+    worker and kept mapped by the LRU cache, so per-level tasks ship
+    only row indices)."""
+    kind, in_name, out_name, start, stop, n, rekeyed, extra = task
     backend = _WORKER_BACKEND
     if backend is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("parallel worker used before initialization")
@@ -191,6 +207,21 @@ def _run_shard(task: Tuple) -> int:
         out[start:stop] = backend.hash_with_schedules(
             labels[start:stop], scheds[start:stop]
         )
+    elif kind == "sched_rows":
+        sched_name, sched_n = extra
+        labels = np.ndarray((n, 4), dtype=np.uint32, buffer=in_buf)
+        rows = np.ndarray(
+            (n,), dtype=np.int64, buffer=in_buf, offset=_LABEL_BYTES * n
+        )
+        resident = np.ndarray(
+            (sched_n, 44),
+            dtype=np.uint32,
+            buffer=_worker_attach(sched_name).buf,
+        )
+        out = np.ndarray((n, 4), dtype=np.uint32, buffer=out_buf)
+        out[start:stop] = backend.hash_with_schedules(
+            labels[start:stop], resident[rows[start:stop]]
+        )
     elif kind == "fixed":
         labels = np.ndarray((n, 4), dtype=np.uint32, buffer=in_buf)
         tweaks = np.ndarray(
@@ -230,6 +261,13 @@ class _PoolHandle:
         self.workers = workers
         self._in: Optional[shared_memory.SharedMemory] = None
         self._out: Optional[shared_memory.SharedMemory] = None
+        # Resident whole-program key-schedule block: written once per
+        # expand_keys_program generation, read by sched_rows tasks for
+        # the rest of that program's levels.  Kept separate from the
+        # per-level transport blocks so level dispatches never clobber
+        # it.
+        self._sched: Optional[shared_memory.SharedMemory] = None
+        self.sched_generation = 0
 
     @staticmethod
     def _ensure(
@@ -251,20 +289,55 @@ class _PoolHandle:
         self._out = self._ensure(self._out, out_nbytes)
         return self._in, self._out
 
+    def schedule_block(self, nbytes: int) -> shared_memory.SharedMemory:
+        """Grow-on-demand resident schedule block (one per pool)."""
+        self._sched = self._ensure(self._sched, nbytes)
+        return self._sched
+
     def close(self) -> None:
         self.pool.shutdown(wait=False, cancel_futures=True)
-        for block in (self._in, self._out):
+        for block in (self._in, self._out, self._sched):
             if block is not None:
                 try:
                     block.close()
                     block.unlink()
                 except FileNotFoundError:  # pragma: no cover
                     pass
-        self._in = self._out = None
+        self._in = self._out = self._sched = None
+        self.sched_generation = 0
 
 
 _POOLS: Dict[Tuple[int, str, str], _PoolHandle] = {}
 _ATEXIT_REGISTERED = False
+
+#: Monotone schedule-residency generations, shared across pools so a
+#: handle minted against a retired pool can never match a fresh one.
+_SCHED_GENERATIONS = itertools.count(1)
+
+
+class ResidentSchedules:
+    """Handle for a whole-program key-schedule expansion.
+
+    ``array`` is the parent-side expansion (every serial fallback uses
+    it); ``shm_name``/``n`` locate the worker-resident copy and
+    ``generation`` pins the pool state it was written under --
+    ``hash_schedule_rows`` verifies the generation before trusting the
+    resident block and silently degrades to ``array`` otherwise.
+    """
+
+    __slots__ = ("array", "shm_name", "generation", "n")
+
+    def __init__(self, array, shm_name: str, generation: int, n: int) -> None:
+        self.array = array
+        self.shm_name = shm_name
+        self.generation = generation
+        self.n = n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, item):
+        return self.array[item]
 
 
 def _default_start_method() -> str:
@@ -395,19 +468,35 @@ class ParallelLabelHashBackend(LabelHashBackend):
         )
 
     def _dispatch(
-        self, kind: str, n: int, rekeyed: bool, in_nbytes: int, out_nbytes: int, fill
+        self,
+        kind: str,
+        n: int,
+        rekeyed: bool,
+        in_nbytes: int,
+        out_nbytes: int,
+        fill,
+        extra=None,
+        resident_out=False,
     ):
         """Run one sharded batch; returns the output block or raises.
 
         ``fill(in_buf)`` writes the input arrays into the shared block.
         The caller copies results out of the returned block *before* the
-        next dispatch reuses it.
+        next dispatch reuses it.  ``extra`` rides along in every task
+        tuple (primitives only -- see ``_run_shard``).  With
+        ``resident_out`` the workers write into the pool's persistent
+        schedule block (which later ``sched_rows`` tasks read in place)
+        instead of the reusable transport block.
         """
         handle = _get_pool(self.workers, self.inner_name, self.start_method)
-        in_shm, out_shm = handle.buffers(in_nbytes, out_nbytes)
+        if resident_out:
+            in_shm, _ = handle.buffers(in_nbytes, 1)
+            out_shm = handle.schedule_block(out_nbytes)
+        else:
+            in_shm, out_shm = handle.buffers(in_nbytes, out_nbytes)
         fill(in_shm.buf)
         tasks = [
-            (kind, in_shm.name, out_shm.name, start, stop, n, rekeyed)
+            (kind, in_shm.name, out_shm.name, start, stop, n, rekeyed, extra)
             for start, stop in shard_bounds(n, self.workers)
         ]
         futures = [handle.pool.submit(_run_shard, task) for task in tasks]
@@ -549,6 +638,94 @@ class ParallelLabelHashBackend(LabelHashBackend):
         except Exception as exc:
             self._disable(exc)
             return self._inner.hash_with_schedules(blocks, schedules)
+
+    # ------------------------------------------------------------------
+    # Worker-resident whole-program schedules
+    # ------------------------------------------------------------------
+
+    def expand_keys_program(self, keys):
+        """Expand whole-program schedules *into the resident block*.
+
+        Workers write their expansion shards straight into a dedicated
+        shared-memory block that subsequent ``sched_rows`` tasks read in
+        place -- the 176-byte schedule rows cross the process boundary
+        once per program instead of once per AND level.
+        """
+        import numpy as np
+
+        n = keys.shape[0]
+        if not self._use_pool(n):
+            return self._inner.expand_keys(keys)
+
+        def fill(buf) -> None:
+            np.ndarray((n, 4), dtype=np.uint32, buffer=buf)[:] = keys
+
+        try:
+            sched_shm = self._dispatch(
+                "expand", n, True, _LABEL_BYTES * n, _SCHED_BYTES * n, fill,
+                resident_out=True,
+            )
+        except Exception as exc:
+            self._disable(exc)
+            return self._inner.expand_keys(keys)
+        handle = _get_pool(self.workers, self.inner_name, self.start_method)
+        handle.sched_generation = next(_SCHED_GENERATIONS)
+        view = np.ndarray((n, 44), dtype=np.uint32, buffer=sched_shm.buf)
+        return ResidentSchedules(
+            array=np.array(view, copy=True),
+            shm_name=sched_shm.name,
+            generation=handle.sched_generation,
+            n=n,
+        )
+
+    def _resident_pool(self, sched) -> Optional[_PoolHandle]:
+        """The live pool whose resident block backs ``sched``, if any."""
+        if not isinstance(sched, ResidentSchedules):
+            return None
+        handle = _POOLS.get((self.workers, self.inner_name, self.start_method))
+        if handle is None or handle.sched_generation != sched.generation:
+            return None
+        return handle
+
+    def hash_schedule_rows(self, blocks, schedules, rows):
+        """Hash against resident schedule rows: ship 8-byte row indices
+        per level, not 176-byte schedule rows."""
+        import numpy as np
+
+        n = blocks.shape[0]
+        array = (
+            schedules.array
+            if isinstance(schedules, ResidentSchedules)
+            else schedules
+        )
+        if not self._use_pool(n) or self._resident_pool(schedules) is None:
+            # No resident block to index into (plain array, retired
+            # generation, small program): gather the rows parent-side
+            # and keep the *pooled* sched dispatch for large batches.
+            return self.hash_with_schedules(blocks, array[rows])
+        row_idx = np.ascontiguousarray(rows, dtype=np.int64)
+
+        def fill(buf) -> None:
+            np.ndarray((n, 4), dtype=np.uint32, buffer=buf)[:] = blocks
+            np.ndarray(
+                (n,), dtype=np.int64, buffer=buf, offset=_LABEL_BYTES * n
+            )[:] = row_idx
+
+        try:
+            out_shm = self._dispatch(
+                "sched_rows",
+                n,
+                True,
+                _LABEL_BYTES * n + 8 * n,
+                _LABEL_BYTES * n,
+                fill,
+                extra=(schedules.shm_name, schedules.n),
+            )
+        except Exception as exc:
+            self._disable(exc)
+            return self._inner.hash_with_schedules(blocks, array[rows])
+        view = np.ndarray((n, 4), dtype=np.uint32, buffer=out_shm.buf)
+        return np.array(view, copy=True)
 
     def hash_fixed_key_blocks(self, blocks, tweak_blocks):
         n = blocks.shape[0]

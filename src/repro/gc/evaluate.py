@@ -239,17 +239,21 @@ def _evaluate_levels_vectorized(
     for positions, a_idx, b_idx, out_idx, free_groups in plan:
         if positions is not None:
             m = len(positions)
-            sched_g = sched[2 * offset : 2 * (offset + m) : 2]
-            sched_e = sched[2 * offset + 1 : 2 * (offset + m) : 2]
-            offset += m
             wa = state[a_idx]
             wb = state[b_idx]
             labels = np.concatenate([wa, wb])
-            sched_rows = np.concatenate([sched_g, sched_e])
             if rekeyed:
-                hashes = backend.hash_with_schedules(labels, sched_rows)
+                # Row indices into the whole-program expansion (possibly
+                # worker-resident): generator rows 2i, evaluator 2i + 1.
+                rows_g = 2 * np.arange(offset, offset + m, dtype=np.int64)
+                sched_idx = np.concatenate([rows_g, rows_g + 1])
+                hashes = backend.hash_schedule_rows(labels, sched, sched_idx)
             else:
+                sched_g = sched[2 * offset : 2 * (offset + m) : 2]
+                sched_e = sched[2 * offset + 1 : 2 * (offset + m) : 2]
+                sched_rows = np.concatenate([sched_g, sched_e])
                 hashes = backend.hash_fixed_key_blocks(labels, sched_rows)
+            offset += m
             hasher.record_batch(2 * m)
             h_a = hashes[:m]
             h_b = hashes[m:]

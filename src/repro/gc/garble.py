@@ -305,11 +305,12 @@ def _prepare_and_schedules(circuit: Circuit, backend, rekeyed: bool):
     Tweaks are static (``2p`` / ``2p + 1`` for netlist position ``p``),
     so the whole program's key schedules can be computed before any
     label exists -- the software analogue of HAAC streaming round keys
-    ahead of the Half-Gate pipeline.  Returns the schedule (or raw tweak
-    block, in fixed-key mode) array with the generator/evaluator rows of
-    the ``i``-th AND gate *in plan order* interleaved at ``2i`` /
-    ``2i + 1`` -- each phase's batch is therefore a contiguous,
-    stride-2 view.
+    ahead of the Half-Gate pipeline.  Returns a schedule handle (see
+    :meth:`LabelHashBackend.expand_keys_program`; a plain array for
+    in-process backends, a worker-resident handle for the parallel one)
+    with the generator/evaluator rows of the ``i``-th AND gate *in plan
+    order* at ``2i`` / ``2i + 1``; in fixed-key mode, the raw tweak
+    block array.
     """
     tweaks: List[int] = []
     for and_batch, _ in circuit.and_level_schedule():
@@ -317,7 +318,7 @@ def _prepare_and_schedules(circuit: Circuit, backend, rekeyed: bool):
             tweaks.append(2 * position)
             tweaks.append(2 * position + 1)
     keys = backend.tweaks_to_keys(tweaks)
-    return backend.expand_keys(keys) if rekeyed else keys
+    return backend.expand_keys_program(keys) if rekeyed else keys
 
 
 def _run_free_groups(state, free_groups, r_vec) -> None:
@@ -369,17 +370,22 @@ def _garble_levels_vectorized(
     for positions, a_idx, b_idx, out_idx, free_groups in plan:
         if positions is not None:
             m = len(positions)
-            sched_g = sched[2 * offset : 2 * (offset + m) : 2]
-            sched_e = sched[2 * offset + 1 : 2 * (offset + m) : 2]
-            offset += m
             wa0 = state[a_idx]
             wb0 = state[b_idx]
             labels = np.concatenate([wa0, wa0 ^ r_vec, wb0, wb0 ^ r_vec])
-            key_rows = np.concatenate([sched_g, sched_g, sched_e, sched_e])
             if rekeyed:
-                hashes = backend.hash_with_schedules(labels, key_rows)
+                # Generator rows at 2i, evaluator rows at 2i + 1; the
+                # backend gathers them from the (possibly worker-
+                # resident) whole-program expansion by index.
+                rows_g = 2 * np.arange(offset, offset + m, dtype=np.int64)
+                rows = np.concatenate([rows_g, rows_g, rows_g + 1, rows_g + 1])
+                hashes = backend.hash_schedule_rows(labels, sched, rows)
             else:
+                sched_g = sched[2 * offset : 2 * (offset + m) : 2]
+                sched_e = sched[2 * offset + 1 : 2 * (offset + m) : 2]
+                key_rows = np.concatenate([sched_g, sched_g, sched_e, sched_e])
                 hashes = backend.hash_fixed_key_blocks(labels, key_rows)
+            offset += m
             hasher.record_batch(4 * m)
             h_a0 = hashes[:m]
             h_a1 = hashes[m : 2 * m]

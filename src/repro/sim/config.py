@@ -71,6 +71,13 @@ class HaacConfig:
     # the default ~/.cache/repro/progcache store, False disables, a
     # string is a directory path (see repro.core.progcache).
     prog_cache: "str | bool | None" = None
+    # Timing-replay engine for every model that consumes this config:
+    # None defers to the REPRO_SIM_ENGINE environment variable;
+    # "numpy" (level-parallel array replay, the default when NumPy is
+    # importable), "vectorized" (flat-array Python loop) and
+    # "reference" (retained per-gate ground truth) pin one engine
+    # (see repro.sim.engine.engine_mode).
+    sim_engine: "str | None" = None
 
     def __post_init__(self) -> None:
         if self.n_ges < 1:
@@ -143,6 +150,9 @@ class HaacConfig:
 
     def with_prog_cache(self, prog_cache: "str | bool | None") -> "HaacConfig":
         return self._replace(prog_cache=prog_cache)
+
+    def with_sim_engine(self, sim_engine: "str | None") -> "HaacConfig":
+        return self._replace(sim_engine=sim_engine)
 
     def _replace(self, **changes) -> "HaacConfig":
         from dataclasses import replace

@@ -31,7 +31,13 @@ from ..core.isa import HaacOp
 from ..core.passes.streams import StreamSet
 from ..core.sww import WIRE_BYTES
 from .config import OOR_ADDR_BYTES, TABLE_BYTES, HaacConfig
-from .engine import ENGINE_REFERENCE, compiled_arrays, engine_mode
+from .engine import (
+    ENGINE_NUMPY,
+    ENGINE_REFERENCE,
+    compiled_arrays,
+    engine_mode,
+    numpy_plan,
+)
 from .timing import compute_traffic, simulate
 
 __all__ = ["CoupledResult", "coupled_runtime", "pull_based_runtime", "DRAM_LATENCY_CYCLES"]
@@ -112,7 +118,38 @@ def coupled_runtime(
     program = streams.program
     input_bytes = program.n_inputs * WIRE_BYTES
 
-    if engine_mode() == ENGINE_REFERENCE:
+    mode = engine_mode(config.sim_engine)
+    if mode == ENGINE_NUMPY:
+        # Array replay of the same recurrence.  Every byte count is an
+        # exact float64 integer, so the prefix sum is associativity-
+        # independent, and np.cumsum/np.maximum.accumulate evaluate
+        # strictly left-to-right -- the one float accumulation whose
+        # order matters (the stall sum) is therefore term-for-term the
+        # serial loop, keeping all three engines bit-identical.
+        import numpy as np
+
+        plan = numpy_plan(compiled_arrays(streams))
+        oor_cost = WIRE_BYTES + OOR_ADDR_BYTES
+        costs = (
+            float(config.instr_bytes)
+            + TABLE_BYTES * plan.is_and_p
+            + oor_cost * plan.oor_a_p
+            + oor_cost * plan.oor_b_p
+            + WIRE_BYTES * plan.live_p
+        )
+        fill_time = (input_bytes + np.cumsum(costs) - queue_bytes) / bandwidth
+        issue = np.maximum(plan.issue_cycle_p, fill_time)
+        lag = issue - plan.issue_cycle_p
+        stall = float(np.cumsum(lag)[-1]) if len(lag) else 0.0
+        latency = np.where(
+            plan.is_and_p, config.and_latency, config.xor_latency
+        )
+        finish = (
+            float(np.max(issue + latency + config.writeback_stages))
+            if len(issue)
+            else 0.0
+        )
+    elif mode == ENGINE_REFERENCE:
         costs = _per_instruction_bytes(streams, config)
         # Issue replay with the extra prefetch constraint.
         prefix = 0.0
@@ -192,7 +229,7 @@ def pull_based_runtime(
     Serialisation is per GE: misses on different GEs overlap.
     """
     decoupled = simulate(streams, config)
-    if engine_mode() == ENGINE_REFERENCE:
+    if engine_mode(config.sim_engine) == ENGINE_REFERENCE:
         per_ge_miss_cycles = [
             miss_latency * len(ge.oor_addresses) for ge in streams.ges
         ]

@@ -5,28 +5,45 @@ PR 1 rewrote the decoupled timing model's hot loop
 measured 1.5-2.3x; this module hoists that machinery out of
 ``timing.py`` so the coupled, pull-based and multicore models consume
 the *same* compiled representation instead of re-walking dataclasses
-per gate.
+per gate.  PR 4 adds a third, NumPy *level-parallel* engine that retires
+whole dependence wavefronts as array operations -- the software mirror
+of the paper's level-scheduling insight that instructions in one
+wavefront have no ordering constraints.
 
-Two ingredients:
+Three engines, selected by ``REPRO_SIM_ENGINE`` (or
+``HaacConfig.sim_engine``, which wins when set):
 
-* :class:`CompiledArrays` -- every per-instruction attribute a timing
-  model needs (operand wires, GE assignment, AND flags, OoR flags, live
-  bits, per-GE OoR counts), flattened once per :class:`StreamSet` and
-  memoized on it.  The arrays are config-independent; latencies and
-  byte costs are derived per :class:`HaacConfig` at simulation time.
-* An engine switch -- ``REPRO_SIM_ENGINE=reference`` selects the
-  straightforward per-gate replay (dataclass attribute walks, dicts)
-  retained verbatim as the ground truth the equivalence suite diffs the
-  vectorized loops against.  The default (``vectorized``) is the
-  flat-array path.  Both produce bit-identical cycle counts and stall
-  breakdowns.
+* ``numpy`` -- the default whenever NumPy is importable.  Instructions
+  are partitioned once per :class:`StreamSet` into dependence levels
+  (:meth:`CompiledArrays.ensure_levels`, a config-independent pure
+  function persisted through :mod:`repro.core.progcache`); the replay
+  then walks level by level, computing operand readiness with bulk
+  ``np.maximum`` gathers, in-order issue with a segmented prefix-max
+  per GE, and window-sync eviction checks as one vectorized gather.
+  ``model_bank_conflicts`` falls back to the flat loop below (its
+  while-loop port arbitration is inherently sequential), as does a
+  NumPy-less interpreter.
+* ``vectorized`` -- the PR 2 flat-array loop: one Python iteration per
+  instruction over preallocated lists.
+* ``reference`` -- the straightforward per-gate replay (dataclass
+  attribute walks, dicts) retained verbatim as the ground truth the
+  equivalence suite diffs both fast engines against.
+
+All three produce bit-identical cycle counts, stall breakdowns and
+per-GE issue counts (asserted by ``tests/sim/test_engine_equivalence``
+for every stdlib family at every opt level).
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+try:  # NumPy is optional: the flat/reference loops cover its absence.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _np = None
 
 from ..core.isa import HaacOp
 from ..core.passes.streams import StreamSet
@@ -35,37 +52,53 @@ from .stats import StallBreakdown
 
 __all__ = [
     "ENGINE_ENV_VAR",
+    "ENGINE_NUMPY",
     "ENGINE_REFERENCE",
     "ENGINE_VECTORIZED",
     "CompiledArrays",
     "engine_mode",
     "compiled_arrays",
     "compute_cycles",
+    "compute_cycles_numpy",
     "compute_cycles_vectorized",
     "compute_cycles_reference",
 ]
 
 ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+ENGINE_NUMPY = "numpy"
 ENGINE_VECTORIZED = "vectorized"
 ENGINE_REFERENCE = "reference"
 _ARRAYS_ATTR = "_engine_arrays"
+_PLAN_ATTR = "_numpy_plan"
+#: Per-segment bias decoupling the level-wide prefix max (see
+#: compute_cycles_numpy).  Any replay reaching 2**45 cycles would need
+#: trillions of instructions; the engine asserts the bound post-replay.
+_SEG_BIAS = 1 << 45
 
 
-def engine_mode() -> str:
-    """Active engine, resolved from ``REPRO_SIM_ENGINE`` at call time.
+def engine_mode(override: Optional[str] = None) -> str:
+    """Active engine, resolved at call time.
 
-    ``vectorized`` (default, also accepts ``flat``/``fast``) runs the
-    preallocated array loops; ``reference`` replays the retained
-    per-gate paths so tests can diff the two.
+    ``override`` (``HaacConfig.sim_engine``) wins over the
+    ``REPRO_SIM_ENGINE`` environment variable when set.  ``numpy``
+    (default, also accepts ``auto``/``level``) is the level-parallel
+    array replay; ``vectorized`` (``flat``/``fast``) the preallocated
+    flat-array loop; ``reference`` the retained per-gate path the
+    equivalence suite diffs the fast engines against.  Requesting
+    ``numpy`` on an interpreter without NumPy silently resolves to
+    ``vectorized`` -- same results, no hard dependency.
     """
-    raw = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
-    if raw in ("", ENGINE_VECTORIZED, "flat", "fast"):
+    raw = override if override is not None else os.environ.get(ENGINE_ENV_VAR, "")
+    raw = raw.strip().lower()
+    if raw in ("", "auto", "default", ENGINE_NUMPY, "np", "level"):
+        return ENGINE_NUMPY if _np is not None else ENGINE_VECTORIZED
+    if raw in (ENGINE_VECTORIZED, "flat", "fast"):
         return ENGINE_VECTORIZED
     if raw in (ENGINE_REFERENCE, "ref", "slow"):
         return ENGINE_REFERENCE
     raise ValueError(
         f"unknown {ENGINE_ENV_VAR}={raw!r}; expected "
-        f"'{ENGINE_VECTORIZED}' or '{ENGINE_REFERENCE}'"
+        f"'{ENGINE_NUMPY}', '{ENGINE_VECTORIZED}' or '{ENGINE_REFERENCE}'"
     )
 
 
@@ -77,6 +110,15 @@ class CompiledArrays:
     program order (the ISA writes wire ``n_inputs + p``).  ``oor_a`` /
     ``oor_b`` are the stream generator's per-GE OoR flags scattered back
     to program order; ``oor_per_ge`` counts each GE's OoRW queue length.
+
+    ``level_of`` is the dependence-level partition consumed by the NumPy
+    engine (None until :meth:`ensure_levels` runs).  Like everything
+    else here it is a pure function of the stream set, so it is computed
+    at most once and -- because these arrays ride along when a
+    :class:`~repro.core.compiler.CompileResult` is pickled into the
+    persistent program cache -- warm runs load it instead of rebuilding.
+    Fields stay plain Python lists: the retained scalar loops iterate
+    them directly, and list pickles load on interpreters without NumPy.
     """
 
     n_inputs: int
@@ -92,6 +134,8 @@ class CompiledArrays:
     oor_b: List[bool]
     issue_cycle: List[int]
     oor_per_ge: List[int]
+    level_of: Optional[List[int]] = None
+    n_levels: int = 0
 
     @property
     def n_instructions(self) -> int:
@@ -102,6 +146,86 @@ class CompiledArrays:
         and_latency = config.and_latency
         xor_latency = config.xor_latency
         return [and_latency if flag else xor_latency for flag in self.is_and]
+
+    def ensure_levels(self) -> "CompiledArrays":
+        """Compute (once) the dependence-level partition.
+
+        Level assignment must put every ordering constraint of the
+        replay across a level boundary so that one level can retire as
+        an array op:
+
+        * **data**: instruction ``p`` reading wire ``w >= n_inputs``
+          runs strictly after producer ``w - n_inputs``;
+        * **window-sync**: ``p`` overwrites the slot of wire
+          ``n_inputs + p - capacity``, so it runs strictly after every
+          program-order-earlier reader of that wire (their
+          ``last_read_issue`` must be final when ``p`` gathers it);
+          conversely a *later* reader ``q > t`` of a wire whose slot
+          instruction ``t`` already overwrote (an OoR read served by the
+          queue) must not land in an earlier level than ``t``, or its
+          ``last_read_issue`` update would become visible to ``t``'s
+          gather when the scalar replay never saw it (equal levels are
+          fine: gathers read pre-level state);
+        * **in-order issue**: same-GE levels are non-decreasing in
+          program order (*equal* is allowed -- within a level each GE's
+          instructions keep program order and chain through a segmented
+          prefix-max, see :func:`compute_cycles_numpy`).
+
+        One O(instructions) Python pass; window-sync constraints on the
+        (unique) future evicting instruction are pushed forward as
+        operands are scanned, so no reader lists are materialised.
+        """
+        if self.level_of is not None:
+            return self
+        n = self.n_instructions
+        n_inputs = self.n_inputs
+        shift = self.capacity - n_inputs
+        a_of = self.a_of
+        b_of = self.b_of
+        ge_of = self.ge_of
+        level_of = [0] * n
+        ge_level = [0] * self.n_ges
+        ws_min = [0] * n
+        for p in range(n):
+            a = a_of[p]
+            b = b_of[p]
+            lvl = ws_min[p]
+            if a >= n_inputs:
+                la = level_of[a - n_inputs] + 1
+                if la > lvl:
+                    lvl = la
+            if b >= n_inputs:
+                lb = level_of[b - n_inputs] + 1
+                if lb > lvl:
+                    lvl = lb
+            ge = ge_of[p]
+            if ge_level[ge] > lvl:
+                lvl = ge_level[ge]
+            ta = a + shift
+            tb = b + shift
+            # Reader after evictor: don't outrun the overwriter's level.
+            if 0 <= ta < p and level_of[ta] > lvl:
+                lvl = level_of[ta]
+            if 0 <= tb < p and level_of[tb] > lvl:
+                lvl = level_of[tb]
+            level_of[p] = lvl
+            ge_level[ge] = lvl
+            # Reader before evictor: the future overwriter waits for us.
+            if p < ta < n and lvl >= ws_min[ta]:
+                ws_min[ta] = lvl + 1
+            if p < tb < n and lvl >= ws_min[tb]:
+                ws_min[tb] = lvl + 1
+        self.level_of = level_of
+        self.n_levels = (max(level_of) + 1) if n else 0
+        return self
+
+    def __getstate__(self):
+        # The derived NumPy plan holds ndarray views; keep pickles (the
+        # persistent program cache) portable to NumPy-less interpreters
+        # by dropping it -- it rebuilds from level_of in O(n) array ops.
+        state = dict(self.__dict__)
+        state.pop(_PLAN_ATTR, None)
+        return state
 
 
 def compiled_arrays(streams: StreamSet) -> CompiledArrays:
@@ -150,13 +274,271 @@ def compute_cycles(
 ) -> Tuple[int, Dict[int, int]]:
     """Replay the per-GE streams; returns (cycles, issued per GE).
 
-    Dispatches on :func:`engine_mode`; both engines implement the exact
-    same model (see the module docstring of :mod:`repro.sim.timing`)
-    and return identical results.
+    Dispatches on :func:`engine_mode` (``config.sim_engine`` overriding
+    the environment); every engine implements the exact same model (see
+    the module docstring of :mod:`repro.sim.timing`) and returns
+    identical results.
     """
-    if engine_mode() == ENGINE_REFERENCE:
+    mode = engine_mode(config.sim_engine)
+    if mode == ENGINE_REFERENCE:
         return compute_cycles_reference(streams, config, stalls)
+    if mode == ENGINE_NUMPY and not config.model_bank_conflicts:
+        return compute_cycles_numpy(compiled_arrays(streams), config, stalls)
+    # Bank-conflict arbitration is a per-cycle while loop over shared
+    # port budgets -- inherently sequential, so the numpy engine defers
+    # to the flat loop for it (identical results either way).
     return compute_cycles_vectorized(compiled_arrays(streams), config, stalls)
+
+
+class _NumpyPlan:
+    """Derived, config-independent NumPy view of one ``CompiledArrays``.
+
+    Everything the level replay gathers per level, precomputed once in
+    dependence-level order (stable sort by ``(level, ge, position)``) so
+    the per-level work is pure array slicing.  Cached unpickled (see
+    ``CompiledArrays.__getstate__``) because it rebuilds in O(n) array
+    ops from the persisted ``level_of``.
+    """
+
+    __slots__ = (
+        "order",
+        "a_s",
+        "b_s",
+        "ab_s",
+        "out_s",
+        "evict_idx_s",
+        "fwd_a_cost",
+        "fwd_b_cost",
+        "is_and_s",
+        "k_seg",
+        "bias_s",
+        "level_bounds",
+        "seg_bounds",
+        "seg_rel_first",
+        "seg_rel_last",
+        "seg_ge",
+        "level_has_evict",
+        "level_multi_seg",
+        "max_width",
+        "issued_per_ge",
+        "_latency_cache",
+        # program-order arrays for the coupled model's prefetch replay
+        "is_and_p",
+        "live_p",
+        "oor_a_p",
+        "oor_b_p",
+        "issue_cycle_p",
+    )
+
+    def __init__(self, arrays: "CompiledArrays") -> None:
+        np = _np
+        arrays.ensure_levels()
+        n = arrays.n_instructions
+        n_inputs = arrays.n_inputs
+        level = np.asarray(arrays.level_of, dtype=np.int64)
+        ge = np.asarray(arrays.ge_of, dtype=np.int64)
+        a = np.asarray(arrays.a_of, dtype=np.int64)
+        b = np.asarray(arrays.b_of, dtype=np.int64)
+        # Stable (level, ge, position) order: contiguous levels, and
+        # within a level one contiguous program-ordered run per GE.
+        order = np.lexsort((ge, level))
+        self.order = order
+        a_s = a[order]
+        b_s = b[order]
+        ge_s = ge[order]
+        level_s = level[order]
+        self.a_s = a_s
+        self.b_s = b_s
+        # Interleaved (a, b) wire ids: one scatter-max updates both
+        # operands' last-read cycles per level.
+        ab_s = np.empty(2 * n, dtype=np.int64)
+        ab_s[0::2] = a_s
+        ab_s[1::2] = b_s
+        self.ab_s = ab_s
+        self.out_s = order + n_inputs
+        evicted = self.out_s - arrays.capacity
+        # Wires whose slot is never overwritten gather a sentinel slot
+        # (index n_wires) that no instruction ever reads/writes, so the
+        # replay needs no per-level mask.
+        self.evict_idx_s = np.where(evicted >= 0, evicted, arrays.n_wires)
+        # Cross-GE forwarding applies when the operand has a producer
+        # (wire >= n_inputs) on a different GE -- both facts are
+        # config-independent; the penalty is scaled in at replay time.
+        producer_a = ge[np.maximum(a_s - n_inputs, 0)]
+        producer_b = ge[np.maximum(b_s - n_inputs, 0)]
+        self.fwd_a_cost = ((a_s >= n_inputs) & (producer_a != ge_s)).astype(np.int64)
+        self.fwd_b_cost = ((b_s >= n_inputs) & (producer_b != ge_s)).astype(np.int64)
+        self.is_and_s = np.asarray(arrays.is_and, dtype=bool)[order]
+
+        counts = np.bincount(level, minlength=max(arrays.n_levels, 1))
+        level_bounds = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        self.level_bounds = level_bounds
+        self.max_width = int(counts.max()) if n else 0
+        # Segments: runs of equal (level, ge) in sorted order.
+        new_seg = np.ones(n, dtype=bool)
+        new_seg[1:] = (ge_s[1:] != ge_s[:-1]) | (level_s[1:] != level_s[:-1])
+        seg_first = np.flatnonzero(new_seg)
+        seg_id = np.cumsum(new_seg) - 1
+        seg_last = np.concatenate((seg_first[1:], [n])) - 1 if n else seg_first
+        self.k_seg = np.arange(n, dtype=np.int64) - seg_first[seg_id]
+        # Per-level segment table: seg_bounds[l]:seg_bounds[l+1] indexes
+        # the per-segment arrays below; seg_rel_* are segment start/end
+        # positions relative to their level slice, seg_ge the owning GE.
+        seg_level = level_s[seg_first]
+        seg_counts = np.bincount(seg_level, minlength=max(arrays.n_levels, 1))
+        self.seg_bounds = np.concatenate(
+            ([0], np.cumsum(seg_counts))
+        ).astype(np.int64)
+        self.seg_rel_first = seg_first - level_bounds[seg_level]
+        self.seg_rel_last = seg_last - level_bounds[seg_level]
+        self.seg_ge = ge_s[seg_first]
+        # Prefix-max segment decoupling bias (see compute_cycles_numpy):
+        # segment ordinal within its level, scaled by a constant far
+        # above any reachable cycle count (validated after each replay).
+        seg_in_level = seg_id - self.seg_bounds[level_s]
+        self.bias_s = seg_in_level * _SEG_BIAS
+        has_evict_counts = np.bincount(
+            level_s, weights=(evicted >= 0), minlength=max(arrays.n_levels, 1)
+        )
+        self.level_has_evict = has_evict_counts > 0
+        self.level_multi_seg = (self.seg_bounds[1:] - self.seg_bounds[:-1]) > 1
+        self.issued_per_ge = np.bincount(ge, minlength=arrays.n_ges)
+        self._latency_cache = {}
+
+        self.is_and_p = np.asarray(arrays.is_and, dtype=bool)
+        self.live_p = np.asarray(arrays.live, dtype=bool)
+        self.oor_a_p = np.asarray(arrays.oor_a, dtype=bool)
+        self.oor_b_p = np.asarray(arrays.oor_b, dtype=bool)
+        self.issue_cycle_p = np.asarray(arrays.issue_cycle, dtype=np.int64)
+
+
+def numpy_plan(arrays: CompiledArrays) -> _NumpyPlan:
+    """Build (or fetch the memoized) level-order NumPy plan."""
+    plan = getattr(arrays, _PLAN_ATTR, None)
+    if plan is None:
+        plan = _NumpyPlan(arrays)
+        setattr(arrays, _PLAN_ATTR, plan)
+    return plan
+
+
+def compute_cycles_numpy(
+    arrays: CompiledArrays, config: HaacConfig, stalls: StallBreakdown
+) -> Tuple[int, Dict[int, int]]:
+    """Level-parallel replay: one batch of array ops per dependence level.
+
+    Semantics are identical to the flat loop; the sequencing argument:
+
+    * Operand readiness and the window-sync gather only read per-wire
+      state written by *strictly earlier* levels (guaranteed by
+      :meth:`CompiledArrays.ensure_levels`), so ``value_ready`` /
+      ``last_read_issue`` are gathered for a whole level at once.
+    * In-order issue within a level is a per-GE recurrence
+      ``issue_k = max(issue_{k-1} + 1, ready_k)`` over each GE's
+      program-ordered run.  Substituting ``s_k = ready_k - k`` turns it
+      into a running max (``issue_k = k + max(s_0..s_k, base)``), i.e. a
+      *segmented* ``np.maximum.accumulate`` -- segments are decoupled by
+      biasing each GE's run with ``segment_ordinal * 2**45``, a constant
+      far above any reachable cycle count (asserted after the replay),
+      so one accumulate serves the whole level.
+    * Stall attribution replays the scalar rules exactly:
+      ``dependence`` counts ``ready - earliest_inorder`` and
+      ``window_sync`` the further bump past ``max(earliest, ready)``,
+      both recovered from the shifted issue vector; the per-instruction
+      terms land in two scratch vectors summed once at the end.
+    """
+    np = _np
+    n = arrays.n_instructions
+    if n == 0:
+        return 0, {}
+    plan = numpy_plan(arrays)
+
+    and_latency = config.and_latency
+    xor_latency = config.xor_latency
+    forward = config.cross_ge_forward
+    writeback = config.writeback_stages
+
+    latency_s = plan._latency_cache.get((and_latency, xor_latency))
+    if latency_s is None:
+        latency_s = np.where(plan.is_and_s, and_latency, xor_latency)
+        plan._latency_cache[(and_latency, xor_latency)] = latency_s
+    fwd_a = plan.fwd_a_cost * forward if forward != 1 else plan.fwd_a_cost
+    fwd_b = plan.fwd_b_cost * forward if forward != 1 else plan.fwd_b_cost
+
+    value_ready = np.zeros(arrays.n_wires + 1, dtype=np.int64)
+    last_read = np.zeros(arrays.n_wires + 1, dtype=np.int64)
+    ge_last_issue = np.full(arrays.n_ges, -1, dtype=np.int64)
+    dep_terms = np.zeros(n, dtype=np.int64)
+    ws_terms = np.zeros(n, dtype=np.int64)
+    read2 = np.empty(2 * plan.max_width, dtype=np.int64)
+
+    level_bounds = plan.level_bounds
+    seg_bounds = plan.seg_bounds
+    seg_rel_first = plan.seg_rel_first
+    seg_rel_last = plan.seg_rel_last
+    seg_ge = plan.seg_ge
+    for li in range(arrays.n_levels):
+        s = level_bounds[li]
+        e = level_bounds[li + 1]
+        a = plan.a_s[s:e]
+        b = plan.b_s[s:e]
+        k = plan.k_seg[s:e]
+
+        ready = np.maximum(value_ready[a] + fwd_a[s:e],
+                           value_ready[b] + fwd_b[s:e])
+        data_avail = ready
+        if plan.level_has_evict[li]:
+            ws = last_read[plan.evict_idx_s[s:e]]
+            ready = np.maximum(data_avail, ws)
+        else:
+            ws = None
+
+        # Segmented prefix max for the in-order recurrence.
+        sp = ready - k
+        seg_lo = seg_bounds[li]
+        seg_hi = seg_bounds[li + 1]
+        starts = seg_rel_first[seg_lo:seg_hi]
+        base = ge_last_issue[seg_ge[seg_lo:seg_hi]] + 1
+        sp[starts] = np.maximum(sp[starts], base)
+        if plan.level_multi_seg[li]:
+            bias = plan.bias_s[s:e]
+            issue = np.maximum.accumulate(sp + bias) - bias
+        else:
+            issue = np.maximum.accumulate(sp)
+        issue += k
+
+        # earliest_inorder: previous issue + 1 inside a segment, the
+        # GE's cross-level last issue + 1 at segment starts.
+        earliest = np.empty_like(issue)
+        earliest[1:] = issue[:-1] + 1
+        earliest[starts] = base
+        np.subtract(data_avail, earliest, out=dep_terms[s:e])
+        if ws is not None:
+            np.subtract(ws, np.maximum(earliest, data_avail), out=ws_terms[s:e])
+
+        value_ready[plan.out_s[s:e]] = issue + latency_s[s:e]
+        read = issue + 1
+        pair = read2[: 2 * (e - s)]
+        pair[0::2] = read
+        pair[1::2] = read
+        np.maximum.at(last_read, plan.ab_s[2 * s:2 * e], pair)
+        ends = seg_rel_last[seg_lo:seg_hi]
+        ge_last_issue[seg_ge[seg_lo:seg_hi]] = issue[ends]
+
+    # finish(p) = issue + latency + writeback; issue + latency is what
+    # the scatter above stored per out wire.
+    max_finish = int(value_ready[arrays.n_inputs:arrays.n_inputs + n].max())
+    max_finish += writeback
+    assert max_finish + n < _SEG_BIAS, "cycle count overflows segment bias"
+    stalls.dependence += int(dep_terms[dep_terms > 0].sum())
+    stalls.window_sync += int(ws_terms[ws_terms > 0].sum())
+    last_issue = int(ge_last_issue.max())
+    stalls.drain += max(0, max_finish - (last_issue + 1))
+    issued = {
+        index: int(count)
+        for index, count in enumerate(plan.issued_per_ge)
+        if count
+    }
+    return max_finish, issued
 
 
 def compute_cycles_vectorized(

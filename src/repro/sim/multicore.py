@@ -36,6 +36,7 @@ from ..circuits.netlist import Circuit, Gate
 from ..core.compiler import CacheSpec, OptLevel, compile_circuit
 from ..core.progcache import circuit_digest, resolve_cache, shard_key
 from .config import HaacConfig
+from .engine import compiled_arrays
 from .timing import simulate
 
 __all__ = ["MulticoreResult", "partition_components", "simulate_multicore"]
@@ -217,6 +218,9 @@ def simulate_multicore(
                 params=params, cache=False,
             )
             if store is not None and key is not None:
+                # Persist shard entries with their level partition too,
+                # matching compile_circuit's cache behaviour.
+                compiled_arrays(compiled.streams).ensure_levels()
                 store.put(key, compiled)
         sim = simulate(compiled.streams, config)
         core_compute.append(sim.compute_cycles)

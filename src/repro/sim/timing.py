@@ -51,8 +51,10 @@ def simulate(streams: StreamSet, config: HaacConfig) -> SimResult:
     """Run the decoupled timing model for one compiled program.
 
     The compute replay lives in :mod:`repro.sim.engine` (shared with the
-    coupled and multicore models); ``REPRO_SIM_ENGINE=reference``
-    selects the retained per-gate loop instead of the flat-array one.
+    coupled and multicore models); ``REPRO_SIM_ENGINE`` (or
+    ``config.sim_engine``) selects between the level-parallel ``numpy``
+    engine (default), the flat-array ``vectorized`` loop and the
+    retained per-gate ``reference`` path -- all bit-identical.
     """
     stalls = StallBreakdown()
     compute_cycles_total, issued_per_ge = compute_cycles(streams, config, stalls)

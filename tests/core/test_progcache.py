@@ -190,6 +190,44 @@ class TestProgramCache:
         assert warm is not cold  # genuine unpickle, not aliasing
         assert _result_fingerprint(cold) == _result_fingerprint(warm)
 
+    def test_level_partition_round_trips(self, tmp_path, config):
+        """Cached entries carry the engine arrays *and* their
+        dependence-level partition, so warm loads skip the partition
+        pass; the derived NumPy plan (runtime views) must not ride
+        along in the pickle."""
+        from repro.sim.engine import _PLAN_ATTR, compiled_arrays
+
+        circuit = _multiplier()
+        writer = ProgramCache(tmp_path, memory=False)
+        cold = compile_circuit(
+            circuit, config.window, config.n_ges,
+            params=config.schedule_params(), cache=writer,
+        )
+        cold_arrays = compiled_arrays(cold.streams)
+        assert cold_arrays.level_of is not None  # persisted eagerly
+        simulate(cold.streams, config)  # materialises the numpy plan
+        # Re-persist now that the plan exists so the round trip below
+        # proves __getstate__ keeps it out of the pickle.
+        key = compile_key(
+            circuit, config.window.capacity, config.n_ges,
+            OptLevel.RO_RN_ESW, config.schedule_params(),
+        )
+        writer.put(key, cold)
+
+        reader = ProgramCache(tmp_path, memory=False)
+        warm = compile_circuit(
+            circuit, config.window, config.n_ges,
+            params=config.schedule_params(), cache=reader,
+        )
+        warm_arrays = getattr(warm.streams, "_engine_arrays", None)
+        assert warm_arrays is not None, "arrays must be persisted"
+        assert warm_arrays.level_of == cold_arrays.level_of
+        assert warm_arrays.n_levels == cold_arrays.n_levels
+        assert getattr(warm_arrays, _PLAN_ATTR, None) is None
+        # The loaded partition drives the same replay.
+        assert simulate(warm.streams, config).compute_cycles == \
+            simulate(cold.streams, config).compute_cycles
+
     def test_corrupted_entry_recovers_by_recompiling(self, tmp_path, config):
         circuit = _adder()
         store = ProgramCache(tmp_path, memory=False)

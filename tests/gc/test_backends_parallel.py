@@ -188,6 +188,89 @@ class TestPooledParity:
         assert backend.pool_batches >= 1
 
 
+class TestResidentSchedules:
+    """Whole-program schedule residency: the expansion crosses into the
+    workers once; per-level hashes ship only row indices and must stay
+    bitwise-identical to gathering the rows in-process."""
+
+    def _program(self, n=400, seed=7):
+        numpy = pytest.importorskip("numpy")
+        rng = random.Random(seed)
+        inner = get_backend("numpy")
+        keys = inner.tweaks_to_keys(
+            [t for p in range(n) for t in (2 * p, 2 * p + 1)]
+        )
+        labels = inner.ints_to_blocks(
+            [rng.getrandbits(128) for _ in range(n)]
+        )
+        rows = numpy.asarray(
+            [2 * rng.randrange(n) + rng.randrange(2) for _ in range(n)],
+            dtype=numpy.int64,
+        )
+        return numpy, inner, keys, labels, rows
+
+    def test_resident_rows_match_inprocess_gather(self):
+        numpy, inner, keys, labels, rows = self._program()
+        want = inner.hash_with_schedules(
+            labels, inner.expand_keys(keys)[rows]
+        )
+        backend = _pooled_backend(workers=2)
+        sched = backend.expand_keys_program(keys)
+        assert isinstance(sched, parallel_module.ResidentSchedules)
+        assert numpy.array_equal(sched.array, inner.expand_keys(keys))
+        got = backend.hash_schedule_rows(labels, sched, rows)
+        assert numpy.array_equal(got, want)
+        assert backend.pool_batches >= 2  # expand + one row batch
+        assert backend.pool_disabled_reason is None
+
+    def test_stale_generation_degrades_to_parent_copy(self):
+        numpy, inner, keys, labels, rows = self._program(n=300)
+        want = inner.hash_with_schedules(
+            labels, inner.expand_keys(keys)[rows]
+        )
+        backend = _pooled_backend(workers=2)
+        sched = backend.expand_keys_program(keys)
+        # A second program expansion retires the first handle's rows.
+        backend.expand_keys_program(keys)
+        assert backend._resident_pool(sched) is None
+        got = backend.hash_schedule_rows(labels, sched, rows)
+        assert numpy.array_equal(got, want)
+
+    def test_pool_death_after_expand_falls_back(self, monkeypatch):
+        numpy, inner, keys, labels, rows = self._program(n=256)
+        want = inner.hash_with_schedules(
+            labels, inner.expand_keys(keys)[rows]
+        )
+        backend = _pooled_backend(workers=2)
+        sched = backend.expand_keys_program(keys)
+        backend._disable(RuntimeError("simulated pool loss"))
+        got = backend.hash_schedule_rows(labels, sched, rows)
+        assert numpy.array_equal(got, want)
+
+    def test_small_program_uses_plain_expansion(self):
+        numpy, inner, keys, labels, rows = self._program(n=40)
+        backend = ParallelLabelHashBackend(workers=2, min_batch=10_000)
+        sched = backend.expand_keys_program(keys)
+        assert not isinstance(sched, parallel_module.ResidentSchedules)
+        want = inner.hash_with_schedules(labels, sched[rows])
+        got = backend.hash_schedule_rows(labels, sched, rows)
+        assert numpy.array_equal(got, want)
+        assert backend.pool_batches == 0
+
+    def test_batched_garble_ships_rows_not_schedules(self):
+        """The vectorized garbler should re-use the resident expansion:
+        transcripts stay identical to serial while the pool sees one
+        expand dispatch plus row-indexed hash dispatches."""
+        circuit = _mixed16()
+        serial = garble_circuit_batched(circuit, seed=31)
+        backend = _pooled_backend(workers=2)
+        pooled = garble_circuit_batched(circuit, seed=31, backend=backend)
+        assert pooled.zero_labels == serial.zero_labels
+        assert pooled.garbled.tables == serial.garbled.tables
+        assert backend.pool_disabled_reason is None
+        assert backend.pool_batches >= 2
+
+
 class TestSilentFallback:
     def test_pool_start_failure_falls_back(self, monkeypatch):
         """A machine where worker processes cannot start must still
@@ -264,10 +347,21 @@ class TestSpawnTransport:
             assert pickle.loads(pickle.dumps(obj)) is obj
 
     def test_task_tuples_are_primitive_and_picklable(self):
-        task = ("sched", "psm_in", "psm_out", 0, 128, 512, True)
-        assert pickle.loads(pickle.dumps(task)) == task
-        for field in task:
-            assert isinstance(field, (str, int, bool))
+        for task in (
+            ("sched", "psm_in", "psm_out", 0, 128, 512, True, None),
+            (
+                "sched_rows", "psm_in", "psm_out", 0, 128, 512, True,
+                ("psm_sched", 512),
+            ),
+        ):
+            assert pickle.loads(pickle.dumps(task)) == task
+            flat = [
+                item
+                for field in task
+                for item in (field if isinstance(field, tuple) else (field,))
+            ]
+            for item in flat:
+                assert item is None or isinstance(item, (str, int, bool))
 
     @pytest.mark.slow
     def test_spawn_pool_round_trip(self):

@@ -1,9 +1,10 @@
-"""Cross-model engine equivalence: vectorized vs reference loops.
+"""Cross-model engine equivalence: numpy vs vectorized vs reference.
 
 The contract under test: every timing model (decoupled simulate,
 coupled, pull-based, multicore) produces *bit-identical* cycle counts,
-stall breakdowns and per-GE issue counts whether it runs on the shared
-flat-array engine (the default) or the retained per-gate reference
+stall breakdowns and per-GE issue counts whether it runs on the NumPy
+level-parallel engine (the default), the flat-array vectorized loop
+(``REPRO_SIM_ENGINE=vectorized``) or the retained per-gate reference
 loops (``REPRO_SIM_ENGINE=reference``), across every stdlib circuit
 family and every compiler optimization level.  This pins the models
 down so future engine refactors cannot silently drift cycle counts.
@@ -18,6 +19,7 @@ from functools import lru_cache
 
 import pytest
 
+import repro.sim.engine as engine_module
 from repro.circuits.builder import CircuitBuilder
 from repro.circuits.stdlib import fixed, integer, logic
 from repro.circuits.stdlib.aes_circuit import build_aes128_circuit
@@ -27,6 +29,7 @@ from repro.sim.config import HaacConfig
 from repro.sim.coupled import coupled_runtime, pull_based_runtime
 from repro.sim.engine import (
     ENGINE_ENV_VAR,
+    ENGINE_NUMPY,
     ENGINE_REFERENCE,
     ENGINE_VECTORIZED,
     engine_mode,
@@ -34,6 +37,8 @@ from repro.sim.engine import (
 from repro.sim.multicore import simulate_multicore
 from repro.sim.timing import simulate
 from repro.workloads import get_workload
+
+ALL_ENGINES = (ENGINE_NUMPY, ENGINE_VECTORIZED, ENGINE_REFERENCE)
 
 
 def _logic8():
@@ -130,21 +135,43 @@ def _coupled_snapshot(streams, config):
     return rows
 
 
-def _both_engines(monkeypatch, fn):
-    """Run ``fn()`` under each engine; returns (vectorized, reference)."""
-    monkeypatch.setenv(ENGINE_ENV_VAR, ENGINE_VECTORIZED)
-    vectorized = fn()
-    monkeypatch.setenv(ENGINE_ENV_VAR, ENGINE_REFERENCE)
-    reference = fn()
-    return vectorized, reference
+def _all_engines(monkeypatch, fn):
+    """Run ``fn()`` under each engine; returns one snapshot per engine."""
+    snapshots = []
+    for engine in ALL_ENGINES:
+        monkeypatch.setenv(ENGINE_ENV_VAR, engine)
+        snapshots.append(fn())
+    return snapshots
+
+
+def _assert_identical(snapshots):
+    for engine, snapshot in zip(ALL_ENGINES[1:], snapshots[1:]):
+        assert snapshot == snapshots[0], f"{engine} diverged from numpy"
 
 
 class TestEngineMode:
-    def test_default_is_vectorized(self, monkeypatch):
+    def test_default_is_numpy_when_importable(self, monkeypatch):
         monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert engine_mode() == ENGINE_NUMPY
+
+    def test_default_without_numpy_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        monkeypatch.setattr(engine_module, "_np", None)
         assert engine_mode() == ENGINE_VECTORIZED
 
+    def test_explicit_numpy_without_numpy_falls_back(self, monkeypatch):
+        monkeypatch.setattr(engine_module, "_np", None)
+        monkeypatch.setenv(ENGINE_ENV_VAR, "numpy")
+        assert engine_mode() == ENGINE_VECTORIZED
+
+    def test_config_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, ENGINE_NUMPY)
+        assert engine_mode(ENGINE_REFERENCE) == ENGINE_REFERENCE
+
     @pytest.mark.parametrize("raw,expected", [
+        ("numpy", ENGINE_NUMPY),
+        ("auto", ENGINE_NUMPY),
+        ("level", ENGINE_NUMPY),
         ("vectorized", ENGINE_VECTORIZED),
         ("flat", ENGINE_VECTORIZED),
         ("reference", ENGINE_REFERENCE),
@@ -165,18 +192,19 @@ class TestEngineMode:
 class TestDecoupledEquivalence:
     def test_simulate_identical(self, monkeypatch, family, opt):
         result, config = _compiled(family, opt)
-        vectorized, reference = _both_engines(
+        _assert_identical(_all_engines(
             monkeypatch, lambda: _sim_snapshot(result.streams, config)
-        )
-        assert vectorized == reference
+        ))
 
     def test_bank_conflicts_identical(self, monkeypatch, family, opt):
+        """The numpy engine's bank-conflict fallback (port arbitration
+        is sequential, so it defers to the flat loop) must stay
+        indistinguishable from the other engines."""
         result, config = _compiled(family, opt)
         conflict_config = config._replace(model_bank_conflicts=True)
-        vectorized, reference = _both_engines(
+        _assert_identical(_all_engines(
             monkeypatch, lambda: _sim_snapshot(result.streams, conflict_config)
-        )
-        assert vectorized == reference
+        ))
 
 
 @pytest.mark.parametrize("family", sorted(STDLIB_FAMILIES))
@@ -184,10 +212,9 @@ class TestDecoupledEquivalence:
 class TestCoupledEquivalence:
     def test_coupled_and_pull_identical(self, monkeypatch, family, opt):
         result, config = _compiled(family, opt)
-        vectorized, reference = _both_engines(
+        _assert_identical(_all_engines(
             monkeypatch, lambda: _coupled_snapshot(result.streams, config)
-        )
-        assert vectorized == reference
+        ))
 
     def test_generous_queues_converge_to_decoupled(self, monkeypatch, family, opt):
         """With effectively infinite queue SRAM the coupled model must
@@ -216,8 +243,7 @@ class TestMulticoreEquivalence:
                 result.shards,
             )
 
-        vectorized, reference = _both_engines(monkeypatch, run)
-        assert vectorized == reference
+        _assert_identical(_all_engines(monkeypatch, run))
 
     @pytest.mark.parametrize("family", sorted(STDLIB_FAMILIES))
     def test_families_multicore_identical(self, monkeypatch, family):
@@ -232,8 +258,7 @@ class TestMulticoreEquivalence:
                 result.single_core_runtime_s,
             )
 
-        vectorized, reference = _both_engines(monkeypatch, run)
-        assert vectorized == reference
+        _assert_identical(_all_engines(monkeypatch, run))
 
 
 @pytest.mark.slow
@@ -251,5 +276,50 @@ class TestExhaustiveAes:
                 _coupled_snapshot(result.streams, config),
             )
 
-        vectorized, reference = _both_engines(monkeypatch, run)
-        assert vectorized == reference
+        _assert_identical(_all_engines(monkeypatch, run))
+
+
+class TestNumpyEngineDetails:
+    def test_config_pin_overrides_environment(self, monkeypatch):
+        """config.sim_engine wins over REPRO_SIM_ENGINE and all pins
+        agree with each other."""
+        monkeypatch.setenv(ENGINE_ENV_VAR, ENGINE_REFERENCE)
+        result, config = _compiled("adder8", OptLevel.RO_RN_ESW)
+        snapshots = [
+            _sim_snapshot(result.streams, config.with_sim_engine(engine))
+            for engine in ALL_ENGINES
+        ]
+        _assert_identical(snapshots)
+
+    def test_numpy_absent_fallback_still_simulates(self, monkeypatch):
+        """With NumPy unimportable the default engine must degrade to
+        the flat loop and produce the same numbers."""
+        result, config = _compiled("logic8", OptLevel.RO_RN_ESW)
+        monkeypatch.setenv(ENGINE_ENV_VAR, "numpy")
+        with_numpy = _sim_snapshot(result.streams, config)
+        monkeypatch.setattr(engine_module, "_np", None)
+        without_numpy = _sim_snapshot(result.streams, config)
+        assert with_numpy == without_numpy
+
+    def test_levels_respect_dependences(self):
+        """Every ordering constraint of the replay crosses (or, for
+        in-order issue, never descends) a level boundary."""
+        result, _ = _compiled("integer8", OptLevel.RO_RN_ESW)
+        arrays = engine_module.compiled_arrays(result.streams).ensure_levels()
+        level_of = arrays.level_of
+        n_inputs = arrays.n_inputs
+        shift = arrays.capacity - n_inputs
+        ge_seen = {}
+        for p in range(arrays.n_instructions):
+            for wire in (arrays.a_of[p], arrays.b_of[p]):
+                if wire >= n_inputs:
+                    assert level_of[wire - n_inputs] < level_of[p]
+                evictor = wire + shift
+                if p < evictor < arrays.n_instructions:
+                    assert level_of[p] < level_of[evictor]
+                if 0 <= evictor < p:
+                    assert level_of[p] >= level_of[evictor]
+            ge = arrays.ge_of[p]
+            if ge in ge_seen:
+                assert level_of[p] >= ge_seen[ge]
+            ge_seen[ge] = level_of[p]

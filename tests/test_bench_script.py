@@ -8,6 +8,7 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 SCRIPT = ROOT / "scripts" / "bench_throughput.py"
 SIM_SCRIPT = ROOT / "scripts" / "bench_sim.py"
+SCENARIOS_SCRIPT = ROOT / "scripts" / "bench_scenarios.py"
 CHECK_SCRIPT = ROOT / "scripts" / "check_bench_regression.py"
 
 
@@ -100,6 +101,60 @@ def test_bench_sim_quick_merges_into_report(tmp_path):
     multicore = sim["models"]["multicore"]
     assert multicore["cold_seconds"] >= multicore["warm_seconds"] * 0.5
     assert multicore["cache_stats"]["hits"] > 0
+    engines = sim["engines"]
+    for engine in ("numpy", "vectorized", "reference"):
+        assert engines[engine]["cycles_per_s"] > 0
+    # All engines replay the same model: identical simulated cycles.
+    assert (
+        engines["numpy"]["sim_cycles"]
+        == engines["vectorized"]["sim_cycles"]
+        == engines["reference"]["sim_cycles"]
+    )
+    assert engines["speedup_numpy_vs_vectorized"] > 0
+    assert "aes128" not in engines  # full-scale comparison skipped on --quick
+
+
+def test_bench_scenarios_quick_emits_grid(tmp_path):
+    out = tmp_path / "BENCH_scenarios.json"
+    proc = subprocess.run(
+        [sys.executable, str(SCENARIOS_SCRIPT), "--quick", "--json", str(out),
+         "--queues", "64,4096,1048576", "--bandwidths", "8.8,35.2,512"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    data = json.loads(out.read_text())
+    assert data["schema"] == "repro.bench_scenarios/v1"
+    assert len(data["workloads"]) >= 3
+    for section in data["workloads"].values():
+        assert section["instructions"] > 0
+        queue_points = section["queue_sweep"]
+        assert [p["queue_bytes_per_ge"] for p in queue_points] == [
+            64, 4096, 1048576,
+        ]
+        # Coupling can only hurt, and generous SRAM must converge to
+        # the decoupled runtime (the paper's complete-decoupling claim).
+        for point in queue_points:
+            assert point["slowdown_vs_decoupled"] >= 1.0 - 1e-9
+        assert abs(queue_points[-1]["slowdown_vs_decoupled"] - 1.0) < 1e-9
+        # More bandwidth never slows the decoupled model down.
+        runtimes = [p["runtime_cycles"] for p in section["bandwidth_sweep"]]
+        assert runtimes == sorted(runtimes, reverse=True)
+        assert section["bandwidth_sweep"][0]["memory_bound"] in (True, False)
+
+
+def test_bench_scenarios_rejects_unknown_workload(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, str(SCENARIOS_SCRIPT), "--workloads", "NotAThing",
+         "--json", str(tmp_path / "out.json")],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        timeout=60,
+    )
+    assert proc.returncode != 0
 
 
 def _report(scale=1.0, drop=()):
@@ -167,6 +222,60 @@ def test_check_regression_threshold_flag(tmp_path):
         tmp_path, _report(scale=0.5), _report(), extra=["--threshold", "0.6"]
     )
     assert proc.returncode == 0
+
+
+def _parallel_section(scale=1.0, cpu_count=1):
+    return {
+        "cpu_count": cpu_count,
+        "inner": "numpy",
+        "workers": {
+            "1": {"garble": {"gates_per_s": 300_000.0 * scale},
+                  "evaluate": {"gates_per_s": 400_000.0 * scale}},
+            "2": {"garble": {"gates_per_s": 200_000.0 * scale},
+                  "evaluate": {"gates_per_s": 300_000.0 * scale}},
+        },
+    }
+
+
+def test_check_regression_tracks_parallel_on_same_core_count(tmp_path):
+    baseline = _report()
+    baseline["parallel"] = _parallel_section(cpu_count=4)
+    current = _report()
+    current["parallel"] = _parallel_section(scale=0.4, cpu_count=4)
+    proc = _run_check(tmp_path, current, baseline)
+    assert proc.returncode == 1
+    assert "parallel.workers.1.garble.gates_per_s" in proc.stdout
+
+
+def test_check_regression_skips_parallel_on_core_count_mismatch(tmp_path):
+    """The single-core honesty guard: a curve recorded on a 1-core host
+    must not trip false regressions against a multi-core run -- it is
+    skipped with a printed notice instead."""
+    baseline = _report()
+    baseline["parallel"] = _parallel_section(cpu_count=1)
+    current = _report()
+    current["parallel"] = _parallel_section(scale=0.3, cpu_count=8)
+    proc = _run_check(tmp_path, current, baseline)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "notice: skipping parallel worker-scaling comparison" in proc.stdout
+    assert "cpu_count=1" in proc.stdout and "cpu_count=8" in proc.stdout
+    # The non-parallel lanes are still enforced on the same run.
+    current_regressed = _report(scale=0.5)
+    current_regressed["parallel"] = _parallel_section(scale=0.3, cpu_count=8)
+    proc = _run_check(tmp_path, current_regressed, baseline)
+    assert proc.returncode == 1
+    assert "parallel.workers" not in proc.stdout
+
+
+def test_check_regression_fails_when_current_drops_parallel_section(tmp_path):
+    """A missing section is a dropped lane (failure), not a host
+    mismatch (notice) -- silently losing the curve is how regressions
+    hide."""
+    baseline = _report()
+    baseline["parallel"] = _parallel_section(cpu_count=2)
+    proc = _run_check(tmp_path, _report(), baseline)
+    assert proc.returncode == 1
+    assert "worker-scaling section missing" in proc.stdout
 
 
 def test_check_regression_missing_files(tmp_path):
