@@ -5,8 +5,14 @@ The ROADMAP's design-space question: how much queue SRAM does the
 decoupling claim actually need, and where does each workload flip from
 compute- to memory-bound as the streaming bandwidth scales?  With the
 persistent compile cache and the level-parallel NumPy replay each
-workload compiles once and then every scenario point is a cheap
-re-simulation, so the full grid runs in seconds.
+workload compiles once; the *batched config axis* then retires the
+whole scenario grid in one pass -- ``coupled_runtime_batch`` broadcasts
+the fill-time recurrence over every queue size and ``simulate_batch``
+replays every bandwidth point together (the compute rows dedupe to
+one), so the full grid costs roughly one replay instead of one per
+point.  Each grid point stays bit-identical to the serial loop; by
+default the serial sweep is also timed (and cross-checked) so the
+artifact records the before/after.
 
 Two sweeps per workload (>= 3 workloads by default):
 
@@ -19,8 +25,11 @@ Two sweeps per workload (>= 3 workloads by default):
   compute/traffic split and the memory-bound flag per point.
 
 Results land in ``BENCH_scenarios.json`` (schema
-``repro.bench_scenarios/v1``), a standalone artifact next to
-``BENCH_throughput.json``.
+``repro.bench_scenarios/v2``), a standalone artifact next to
+``BENCH_throughput.json``.  Each workload carries a ``summary`` block
+(queue knee, compute-bound flip point, scenario count, batched-vs-
+serial sweep seconds) that ``repro scenarios`` renders as tables and
+ASCII charts.
 
 Usage::
 
@@ -28,6 +37,7 @@ Usage::
     python scripts/bench_scenarios.py --quick
     python scripts/bench_scenarios.py --workloads ReLU,Hamm,MatMult,GradDesc
     python scripts/bench_scenarios.py --queues 256,1024,65536 --bandwidths 8.8,35.2,512
+    python scripts/bench_scenarios.py --no-serial        # skip the serial rerun
 """
 
 from __future__ import annotations
@@ -42,15 +52,16 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
+from repro.analysis.scenarios import summarize_sweeps  # noqa: E402
 from repro.core.compiler import OptLevel, compile_circuit  # noqa: E402
 from repro.sim.config import HaacConfig  # noqa: E402
-from repro.sim.coupled import coupled_runtime  # noqa: E402
+from repro.sim.coupled import coupled_runtime, coupled_runtime_batch  # noqa: E402
 from repro.sim.dram import DramSpec  # noqa: E402
 from repro.sim.engine import engine_mode  # noqa: E402
-from repro.sim.timing import simulate  # noqa: E402
+from repro.sim.timing import simulate, simulate_batch  # noqa: E402
 from repro.workloads import get_workload  # noqa: E402
 
-SCENARIOS_SCHEMA = "repro.bench_scenarios/v1"
+SCENARIOS_SCHEMA = "repro.bench_scenarios/v2"
 
 DEFAULT_WORKLOADS = "ReLU,Hamm,MatMult"
 DEFAULT_QUEUES = "64,256,1024,4096,16384,65536"
@@ -70,15 +81,48 @@ QUICK_PARAMS = {
 }
 
 
+def _dram_specs(bandwidths: "list[float]") -> "list[DramSpec]":
+    return [
+        DramSpec(name=f"{gb_s:g}GB/s", bandwidth_gb_s=gb_s)
+        for gb_s in bandwidths
+    ]
+
+
+def summary_lines(section: dict, queues: "list[int]",
+                  bandwidths: "list[float]") -> "tuple[str, str]":
+    """Human-readable knee/flip phrases, explicit when not reached."""
+    summary = section["summary"]
+    knee = summary["queue_knee_bytes_per_ge"]
+    flip = summary["compute_bound_from_gb_s"]
+    if knee is not None:
+        knee_text = f"decoupled within 1% at {knee}B/GE queue"
+    elif queues:
+        knee_text = (
+            f"decoupled within 1% not reached in sweep (max {max(queues)}B/GE)"
+        )
+    else:
+        knee_text = "decoupled within 1% not measured (no queue points)"
+    if flip is not None:
+        flip_text = f"compute-bound from {flip:g} GB/s"
+    elif bandwidths:
+        flip_text = (
+            f"compute-bound not reached in sweep (max {max(bandwidths):g} GB/s)"
+        )
+    else:
+        flip_text = "compute-bound not measured (no bandwidth points)"
+    return knee_text, flip_text
+
+
 def scan_workload(
     name: str,
     config: HaacConfig,
-    queues: list[int],
-    bandwidths: list[float],
+    queues: "list[int]",
+    bandwidths: "list[float]",
     quick: bool,
     cache,
+    compare_serial: bool = True,
 ) -> dict:
-    """Compile one workload and run both scenario sweeps."""
+    """Compile one workload and run the scenario grid as one batch."""
     workload = get_workload(name)
     if quick and name in QUICK_PARAMS:
         built = workload.build(**QUICK_PARAMS[name])
@@ -92,34 +136,77 @@ def scan_workload(
     )
     compile_seconds = time.perf_counter() - start
     streams = compiled.streams
+    specs = _dram_specs(bandwidths)
+    # The decoupled baseline is a simulated scenario too -- count it, so
+    # per-scenario timing claims include every replay the sweep pays for.
+    scenarios = 1 + len(queues) + len(bandwidths)
 
+    # Throwaway replay to materialise the level partition / NumPy plan
+    # (memoized on the stream set) before either timed region: sweeps
+    # amortise that one-time cost, and both the batched grid and the
+    # serial rerun below then measure steady-state sweep time.
+    simulate(streams, config)
+
+    # Batched grid: one coupled_runtime_batch over every queue size, one
+    # simulate_batch over every bandwidth point (the compute replay
+    # dedupes to a single row -- bandwidth never enters the compute
+    # recurrence), plus the decoupled baseline.
     start = time.perf_counter()
     decoupled = simulate(streams, config)
-    queue_sweep = []
-    for queue_bytes in queues:
-        point = coupled_runtime(streams, config, queue_bytes)
-        queue_sweep.append({
+    queue_points = coupled_runtime_batch(
+        streams, config, queues, decoupled=decoupled
+    )
+    bandwidth_sims = simulate_batch(streams, config.variants(dram=specs))
+    sweep_seconds = time.perf_counter() - start
+
+    serial_seconds = None
+    if compare_serial:
+        # PR 4's per-point loop, retimed for the before/after record --
+        # and cross-checked: every grid point must agree bit-for-bit.
+        start = time.perf_counter()
+        serial_decoupled = simulate(streams, config)
+        serial_queue = [
+            coupled_runtime(streams, config, queue_bytes)
+            for queue_bytes in queues
+        ]
+        serial_bandwidth = [
+            simulate(streams, config.with_dram(spec)) for spec in specs
+        ]
+        serial_seconds = time.perf_counter() - start
+        assert serial_decoupled.runtime_cycles == decoupled.runtime_cycles
+        assert [(p.cycles, p.stall_cycles) for p in serial_queue] == [
+            (p.cycles, p.stall_cycles) for p in queue_points
+        ], f"{name}: batched queue sweep diverged from the serial loop"
+        assert [
+            (s.compute_cycles, s.traffic_cycles, s.stalls.as_dict())
+            for s in serial_bandwidth
+        ] == [
+            (s.compute_cycles, s.traffic_cycles, s.stalls.as_dict())
+            for s in bandwidth_sims
+        ], f"{name}: batched bandwidth sweep diverged from the serial loop"
+
+    queue_sweep = [
+        {
             "queue_bytes_per_ge": queue_bytes,
             "cycles": point.cycles,
             "stall_cycles": point.stall_cycles,
             "slowdown_vs_decoupled": point.slowdown_vs_decoupled,
-        })
-
-    bandwidth_sweep = []
-    for gb_s in bandwidths:
-        spec = DramSpec(name=f"{gb_s:g}GB/s", bandwidth_gb_s=gb_s)
-        sim = simulate(streams, config.with_dram(spec))
-        bandwidth_sweep.append({
+        }
+        for queue_bytes, point in zip(queues, queue_points)
+    ]
+    bandwidth_sweep = [
+        {
             "dram": spec.name,
-            "gb_s": gb_s,
+            "gb_s": spec.bandwidth_gb_s,
             "runtime_cycles": sim.runtime_cycles,
             "compute_cycles": sim.compute_cycles,
             "traffic_cycles": sim.traffic_cycles,
             "memory_bound": sim.memory_bound,
-        })
-    sweep_seconds = time.perf_counter() - start
+        }
+        for spec, sim in zip(specs, bandwidth_sims)
+    ]
 
-    return {
+    section = {
         "params": dict(built.params),
         "gates": len(built.circuit.gates),
         "instructions": len(streams.program.instructions),
@@ -128,7 +215,14 @@ def scan_workload(
         "sweep_seconds": sweep_seconds,
         "queue_sweep": queue_sweep,
         "bandwidth_sweep": bandwidth_sweep,
+        "summary": summarize_sweeps(queue_sweep, bandwidth_sweep, scenarios),
     }
+    if serial_seconds is not None:
+        section["serial_sweep_seconds"] = serial_seconds
+        section["batched_speedup"] = (
+            serial_seconds / sweep_seconds if sweep_seconds else float("inf")
+        )
+    return section
 
 
 def main(argv=None) -> int:
@@ -152,6 +246,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--quick", action="store_true", help="small circuits (smoke lane)"
+    )
+    parser.add_argument(
+        "--no-serial",
+        action="store_true",
+        help="skip the serial per-point rerun (faster, but the artifact "
+        "loses the before/after sweep_seconds context)",
     )
     parser.add_argument(
         "--ges", type=int, default=4, help="gate engines (default: 4)"
@@ -188,38 +288,29 @@ def main(argv=None) -> int:
             "n_ges": config.n_ges,
             "sww_bytes": config.sww_bytes,
             "quick": args.quick,
+            "serial_compared": not args.no_serial,
         },
         "workloads": {},
     }
     for name in workloads:
         section = scan_workload(
-            name, config, queues, bandwidths, args.quick, args.cache
+            name, config, queues, bandwidths, args.quick, args.cache,
+            compare_serial=not args.no_serial,
         )
         report["workloads"][name] = section
-        knee = next(
-            (
-                point["queue_bytes_per_ge"]
-                for point in section["queue_sweep"]
-                if point["slowdown_vs_decoupled"] <= 1.01
-            ),
-            None,
-        )
-        flip = next(
-            (
-                point["gb_s"]
-                for point in section["bandwidth_sweep"]
-                if not point["memory_bound"]
-            ),
-            None,
-        )
-        print(
+        knee_text, flip_text = summary_lines(section, queues, bandwidths)
+        line = (
             f"{name:>9}: {section['instructions']:>7} instrs, "
             f"compile {section['compile_seconds'] * 1000:7.1f} ms, "
-            f"{len(queues) + len(bandwidths)} scenarios in "
-            f"{section['sweep_seconds'] * 1000:7.1f} ms | "
-            f"decoupled within 1% at {knee}B/GE queue, "
-            f"compute-bound from {flip} GB/s"
+            f"{section['summary']['scenarios']} scenarios in "
+            f"{section['sweep_seconds'] * 1000:7.1f} ms"
         )
+        if "batched_speedup" in section:
+            line += (
+                f" (serial {section['serial_sweep_seconds'] * 1000:7.1f} ms, "
+                f"batched {section['batched_speedup']:.1f}x)"
+            )
+        print(f"{line} | {knee_text}, {flip_text}")
 
     out_path = pathlib.Path(args.json)
     out_path.write_text(json.dumps(report, indent=2) + "\n")

@@ -8,10 +8,12 @@ cache, plus an engine comparison (``numpy`` level-parallel vs
 ``vectorized`` flat loop vs per-gate ``reference``) on the decoupled
 replay -- at full scale that comparison runs on AES-128, the PR 4
 acceptance gate for the level-parallel engine (>= 3x vs the flat
-loop).  Results are merged into ``BENCH_throughput.json`` under the
-``"sim"`` key (sub-schema ``repro.bench_sim/v1``) so
-``scripts/check_bench_regression.py`` can track them PR over PR
-alongside the garbling numbers.
+loop), plus the batched-grid comparison (one scenario grid retired
+through the batched config axis vs PR 4's serial per-point loop,
+reported as scenarios/s).  Results are merged into
+``BENCH_throughput.json`` under the ``"sim"`` key (sub-schema
+``repro.bench_sim/v1``) so ``scripts/check_bench_regression.py`` can
+track them PR over PR alongside the garbling numbers.
 
 Usage::
 
@@ -36,13 +38,22 @@ sys.path.insert(
 from repro.core.compiler import OptLevel, compile_circuit  # noqa: E402
 from repro.core.progcache import ProgramCache  # noqa: E402
 from repro.sim.config import HaacConfig  # noqa: E402
-from repro.sim.coupled import coupled_runtime, pull_based_runtime  # noqa: E402
-from repro.sim.dram import HBM2  # noqa: E402
+from repro.sim.coupled import (  # noqa: E402
+    coupled_runtime,
+    coupled_runtime_batch,
+    pull_based_runtime,
+)
+from repro.sim.dram import HBM2, DramSpec  # noqa: E402
 from repro.sim.multicore import simulate_multicore  # noqa: E402
-from repro.sim.timing import simulate  # noqa: E402
+from repro.sim.timing import simulate, simulate_batch  # noqa: E402
 from repro.workloads import get_workload  # noqa: E402
 
 SIM_SCHEMA = "repro.bench_sim/v1"
+
+#: Per-workload scenario grid for the batched-replay comparison --
+#: shaped like one scripts/bench_scenarios.py workload section.
+GRID_QUEUES = [64, 1024, 65536]
+GRID_BANDWIDTHS = [8.8, 35.2, 140.8, 512.0]
 
 
 def _best_of(repeats, fn):
@@ -84,6 +95,55 @@ def measure_engines(streams, config, repeats: int) -> dict:
         entries["reference"]["seconds"] / entries["numpy"]["seconds"]
     )
     return entries
+
+
+def measure_batched_grid(streams, config, repeats: int) -> dict:
+    """Scenario-grid retire rate: batched config axis vs serial loop.
+
+    Times one workload's worth of the ``bench_scenarios.py`` grid (the
+    decoupled baseline + a queue sweep + a bandwidth sweep) both ways:
+    PR 4's per-point loop and the batched path
+    (``coupled_runtime_batch`` + ``simulate_batch``).  The headline
+    ``scenarios_per_s`` gates the batched path in
+    ``check_bench_regression.py``.
+    """
+    specs = [
+        DramSpec(name=f"{gb_s:g}GB/s", bandwidth_gb_s=gb_s)
+        for gb_s in GRID_BANDWIDTHS
+    ]
+    bw_configs = config.variants(dram=specs)
+    scenarios = 1 + len(GRID_QUEUES) + len(specs)
+
+    def batched():
+        decoupled = simulate(streams, config)
+        queue = coupled_runtime_batch(
+            streams, config, GRID_QUEUES, decoupled=decoupled
+        )
+        bandwidth = simulate_batch(streams, bw_configs)
+        return decoupled, queue, bandwidth
+
+    def serial():
+        decoupled = simulate(streams, config)
+        queue = [
+            coupled_runtime(streams, config, queue_bytes)
+            for queue_bytes in GRID_QUEUES
+        ]
+        bandwidth = [simulate(streams, variant) for variant in bw_configs]
+        return decoupled, queue, bandwidth
+
+    batched()  # warm the level partition / NumPy plan once
+    batched_seconds, _ = _best_of(repeats, batched)
+    serial_seconds, _ = _best_of(repeats, serial)
+    return {
+        "scenarios": scenarios,
+        "queue_points": len(GRID_QUEUES),
+        "bandwidth_points": len(specs),
+        "seconds": batched_seconds,
+        "serial_seconds": serial_seconds,
+        "scenarios_per_s": scenarios / batched_seconds,
+        "serial_scenarios_per_s": scenarios / serial_seconds,
+        "speedup_batched_vs_serial": serial_seconds / batched_seconds,
+    }
 
 
 def measure_sim(quick: bool = False, repeats: int = 3) -> dict:
@@ -179,6 +239,7 @@ def measure_sim(quick: bool = False, repeats: int = 3) -> dict:
         },
         "models": models,
         "engines": engines,
+        "batched_grid": measure_batched_grid(streams, config, repeats),
     }
 
 
@@ -250,6 +311,14 @@ def main(argv=None) -> int:
     print_engines(engines["circuit"], engines)
     if "aes128" in engines:
         print_engines("aes128 decoupled replay", engines["aes128"])
+    grid = section["batched_grid"]
+    print(
+        f"batched grid: {grid['scenarios']} scenarios in "
+        f"{grid['seconds'] * 1000:.2f} ms "
+        f"({grid['scenarios_per_s']:,.0f} scenarios/s, "
+        f"{grid['speedup_batched_vs_serial']:.2f}x vs serial "
+        f"{grid['serial_seconds'] * 1000:.2f} ms)"
+    )
     print(f"wrote {out_path}")
     return 0
 

@@ -17,6 +17,9 @@ Tracked metrics:
   block with its ``speedup_numpy_vs_vectorized`` ratio, full runs
   only) -- the per-engine decoupled-replay comparison, including the
   level-parallel engine's >= 3x AES-128 acceptance ratio;
+* ``sim.batched_grid.scenarios_per_s`` -- scenario-grid retire rate
+  through the batched config axis (the ``bench_scenarios.py`` fast
+  path);
 * ``parallel.workers.<N>.{garble,evaluate}.gates_per_s`` -- the
   worker-scaling curve, **only when the recorded ``cpu_count`` matches
   between baseline and current run**.  The curve's shape depends on the
@@ -83,6 +86,12 @@ def tracked_metrics(report: dict) -> dict:
     speedup = aes.get("speedup_numpy_vs_vectorized")
     if speedup is not None:
         metrics["sim.engines.aes128.speedup_numpy_vs_vectorized"] = speedup
+    # Batched multi-config replay: scenario-grid retire rate through the
+    # batched config axis (the bench_scenarios.py fast path).
+    grid = report.get("sim", {}).get("batched_grid", {})
+    value = grid.get("scenarios_per_s")
+    if value is not None:
+        metrics["sim.batched_grid.scenarios_per_s"] = value
     return metrics
 
 

@@ -16,6 +16,11 @@ from .experiments import (
 )
 from .charts import bar_chart, grouped_bar_chart, log_bar_chart, stacked_shares
 from .report import fmt, geomean, render_table
+from .scenarios import (
+    load_report as load_scenarios_report,
+    render_report as render_scenarios_report,
+    summarize_sweeps,
+)
 
 __all__ = [
     "bar_chart",
@@ -37,4 +42,7 @@ __all__ = [
     "render_table",
     "fmt",
     "geomean",
+    "load_scenarios_report",
+    "render_scenarios_report",
+    "summarize_sweeps",
 ]

@@ -8,7 +8,9 @@ Subcommands:
   configuration's schedule/traffic;
 * ``simulate``    -- timing-simulate a workload on a chosen design point;
 * ``protocol``    -- run the real two-party millionaires' demo;
-* ``cache``       -- inspect or clear the persistent compile cache.
+* ``cache``       -- inspect, prune or clear the persistent compile cache;
+* ``scenarios``   -- render the scenario-grid artifact (queue-SRAM knee /
+  memory-bound flip table + ASCII sweep charts).
 
 ``compile`` and ``simulate`` accept ``--cache [DIR]`` to reuse compiled
 programs across invocations (warm sweeps skip the compiler); the
@@ -106,10 +108,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_flag(p_s)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect or clear the persistent compile cache"
+        "cache", help="inspect, prune or clear the persistent compile cache"
     )
     p_cache.add_argument(
-        "action", choices=["info", "clear"], nargs="?", default="info"
+        "action",
+        choices=["info", "clear", "prune"],
+        nargs="?",
+        default="info",
+        help="info: census incl. stale-schema entries; prune: delete "
+        "stale-schema/corrupt entries only; clear: delete everything",
     )
     p_cache.add_argument(
         "--dir",
@@ -136,6 +143,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard garbling across N worker processes (selects the "
         "'parallel' backend; default worker count: $REPRO_GC_WORKERS "
         "or all cores)",
+    )
+
+    p_sc = sub.add_parser(
+        "scenarios",
+        help="render the scenario grid (BENCH_scenarios.json): "
+        "queue-SRAM knee / memory-bound flip table + sweep charts",
+    )
+    p_sc.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="artifact from scripts/bench_scenarios.py (default: "
+        "./BENCH_scenarios.json, else the committed benchmarks/ copy)",
+    )
+    p_sc.add_argument(
+        "--workloads",
+        default=None,
+        metavar="A,B",
+        help="comma-separated subset of the artifact's workloads",
     )
 
     p_f = sub.add_parser(
@@ -287,7 +313,12 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from .core.progcache import ProgramCache, default_cache_dir, resolve_cache
+    from .core.progcache import (
+        CACHE_SCHEMA,
+        ProgramCache,
+        default_cache_dir,
+        resolve_cache,
+    )
 
     if args.dir is not None:
         store = ProgramCache(args.dir)
@@ -297,12 +328,54 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = store.clear()
         print(f"removed {removed} cached programs from {store.root}")
         return 0
+    if args.action == "prune":
+        removed = store.prune()
+        freed_kb = (removed.stale_bytes + removed.corrupt_bytes) / 1024
+        print(
+            f"pruned {removed.stale} stale-schema and {removed.corrupt} "
+            f"corrupt entries from {store.root} ({freed_kb:.1f} KB freed)"
+        )
+        return 0
+    census = store.scan()
     rows = [
         ["directory", str(store.root)],
-        ["entries", store.entry_count()],
-        ["size (KB)", f"{store.size_bytes() / 1024:.1f}"],
+        ["schema", f"v{CACHE_SCHEMA}"],
+        ["live entries", census.live],
+        ["live size (KB)", f"{census.live_bytes / 1024:.1f}"],
+        ["stale-schema entries", census.stale],
+        ["stale size (KB)", f"{census.stale_bytes / 1024:.1f}"],
+        ["corrupt entries", census.corrupt],
     ]
     print(render_table(["Property", "Value"], rows, title="compile cache"))
+    if census.stale or census.corrupt:
+        print("run `repro cache prune` to delete stale/corrupt entries")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .analysis import scenarios as sc
+
+    path = args.path if args.path is not None else sc.default_artifact_path()
+    if path is None:
+        print(
+            "no BENCH_scenarios.json found; run "
+            "`python scripts/bench_scenarios.py` first (or pass a path)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = sc.load_report(path)
+    except (OSError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    names = None
+    if args.workloads:
+        names = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    try:
+        print(sc.render_report(report, workloads=names, source=str(path)))
+    except KeyError as error:
+        print(str(error).strip("'\""), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -370,6 +443,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "protocol": _cmd_protocol,
     "cache": _cmd_cache,
+    "scenarios": _cmd_scenarios,
     "figures": _cmd_figures,
 }
 

@@ -146,11 +146,16 @@ def _greedy_schedule(
     Besides dependences, the schedule enforces the **window-sync**
     hazard of the tagless SWW: writing wire ``o`` lands in the physical
     slot of wire ``o - capacity``, so the write may not issue before
-    every (program-order earlier) in-window reader of ``o - capacity``
-    has issued.  The hardware has no tags to detect this; the co-design
-    contract makes the compiler responsible, exactly like the paper's
-    "remains valid ... for at least the time it takes to process
-    instructions proportional to half of the SWW size" argument.
+    every (program-order earlier) access of ``o - capacity`` has issued
+    -- its in-window readers *and* the write that produced it (a wire
+    with no readers, e.g. a live write-back consumed only via OoR,
+    would otherwise let the evicting write land first and the lagging
+    producer stomp the slot afterwards: a WAW hazard on the slot).  The
+    write is therefore recorded as its own first slot access below.
+    The hardware has no tags to detect this; the co-design contract
+    makes the compiler responsible, exactly like the paper's "remains
+    valid ... for at least the time it takes to process instructions
+    proportional to half of the SWW size" argument.
     """
     import heapq
 
@@ -207,6 +212,9 @@ def _greedy_schedule(
         heapq.heappush(free_heap, (issue + 1, chosen))
         done[out] = issue + latency[instr.op]
         producer_ge[out] = chosen
+        # The write is the slot's first access: the instruction evicting
+        # `out` must issue strictly after it, readers or not.
+        last_read_issue[out] = issue + 1
         for wire in (a, b):
             if issue + 1 > last_read_issue[wire]:
                 last_read_issue[wire] = issue + 1

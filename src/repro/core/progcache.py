@@ -34,6 +34,12 @@ The default location is ``~/.cache/repro/progcache``.  Corrupted or
 truncated entries are never fatal: the loader drops the file, counts a
 ``corrupt`` and falls back to recompilation.  Per-store hit/miss/put
 counters (:class:`CacheStats`) let tests assert warm-run behaviour.
+
+Because the schema lives in the *key*, entries written under an older
+``CACHE_SCHEMA`` are never looked up again -- unreachable dead bytes
+with ordinary-looking filenames.  :meth:`ProgramCache.scan` reports
+them separately from live entries and :meth:`ProgramCache.prune`
+deletes them (``repro cache info`` / ``repro cache prune``).
 """
 
 from __future__ import annotations
@@ -59,6 +65,7 @@ __all__ = [
     "CACHE_ENV_VAR",
     "CACHE_SCHEMA",
     "CacheStats",
+    "EntryScan",
     "ProgramCache",
     "circuit_digest",
     "compile_key",
@@ -71,12 +78,20 @@ CACHE_ENV_VAR = "REPRO_PROG_CACHE"
 #: Bump whenever compiler output for an unchanged key could change.
 #: v2: entries carry the engine's flat arrays + dependence-level
 #: partition (repro.sim.engine.CompiledArrays) on the stream set.
-CACHE_SCHEMA = 2
+#: v3: window-sync WAW fix -- the greedy schedule (and the level
+#: partition) orders an evicting write after the evicted wire's
+#: *producer*, not just its readers, changing issue_cycle / level_of
+#: for affected programs.
+CACHE_SCHEMA = 3
 
 _OFF_VALUES = ("0", "off", "none", "disabled", "false", "no")
 _ON_VALUES = ("1", "on", "default", "true", "yes", "auto")
 
 _GATE_OP_CODE = {GateOp.AND: 0, GateOp.XOR: 1, GateOp.INV: 2}
+
+
+class _StaleSchemaError(Exception):
+    """A well-formed entry written under a different ``CACHE_SCHEMA``."""
 
 
 def default_cache_dir() -> Path:
@@ -208,6 +223,37 @@ def shard_key(
 
 
 @dataclass
+class EntryScan:
+    """On-disk entry census, by reachability under the current schema.
+
+    ``live`` entries were written by the current ``CACHE_SCHEMA`` (their
+    payload schema matches and the stored key matches the filename);
+    ``stale`` entries carry an older (or newer) schema -- because the
+    schema is baked into every *key*, the current code can never look
+    them up, so they are unreachable dead bytes until pruned; ``corrupt``
+    covers everything else (truncated pickles, foreign files, key/name
+    mismatches).
+    """
+
+    live: int = 0
+    live_bytes: int = 0
+    stale: int = 0
+    stale_bytes: int = 0
+    corrupt: int = 0
+    corrupt_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "live": self.live,
+            "live_bytes": self.live_bytes,
+            "stale": self.stale,
+            "stale_bytes": self.stale_bytes,
+            "corrupt": self.corrupt,
+            "corrupt_bytes": self.corrupt_bytes,
+        }
+
+
+@dataclass
 class CacheStats:
     """Counters for one store; ``corrupt`` entries also count as misses."""
 
@@ -247,6 +293,36 @@ class ProgramCache:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
+    def _load_payload(self, path: Path) -> "CompileResult":
+        """Read, unpickle and validate one entry file.
+
+        Raises :class:`_StaleSchemaError` for a well-formed entry
+        written under another ``CACHE_SCHEMA``, and any other exception
+        (missing file, truncated pickle, key/filename mismatch) for
+        corruption -- the single definition of "valid entry" shared by
+        :meth:`get` and the :meth:`scan`/:meth:`prune` census.
+        """
+        with open(path, "rb") as handle:
+            data = handle.read()
+        # Compiled programs unpickle to tens of thousands of small
+        # objects; keeping the cyclic collector out of the loop is
+        # a large constant-factor win on warm loads.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            payload = pickle.loads(data)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        schema = payload["schema"]
+        stored_key = payload["key"]
+        result = payload["result"]
+        if schema != CACHE_SCHEMA:
+            raise _StaleSchemaError(path.name)
+        if stored_key != path.stem:
+            raise ValueError("key mismatch")
+        return result
+
     def get(self, key: str) -> Optional["CompileResult"]:
         """Load a cached result, or None on miss or corruption.
 
@@ -261,27 +337,13 @@ class ProgramCache:
                 return resident
         path = self.path_for(key)
         try:
-            with open(path, "rb") as handle:
-                data = handle.read()
-            # Compiled programs unpickle to tens of thousands of small
-            # objects; keeping the cyclic collector out of the loop is
-            # a large constant-factor win on warm loads.
-            gc_was_enabled = gc.isenabled()
-            gc.disable()
-            try:
-                payload = pickle.loads(data)
-            finally:
-                if gc_was_enabled:
-                    gc.enable()
-            schema = payload["schema"]
-            stored_key = payload["key"]
-            result = payload["result"]
-            if schema != CACHE_SCHEMA or stored_key != key:
-                raise ValueError("schema or key mismatch")
+            result = self._load_payload(path)
         except FileNotFoundError:
             self.stats.misses += 1
             return None
         except Exception:
+            # _StaleSchemaError lands here too: a current-schema *key*
+            # whose payload claims another schema is tampered content.
             self.stats.misses += 1
             self.stats.corrupt += 1
             try:
@@ -331,6 +393,71 @@ class ProgramCache:
                     removed += 1
                 except OSError:
                     pass
+        return removed
+
+    def _classify(self, path: Path) -> str:
+        """``'live'`` / ``'stale'`` / ``'corrupt'`` for one entry file.
+
+        Schema staleness is only visible in the payload (the schema is
+        baked into the *key*, so a pre-current-schema file has an
+        ordinary-looking name the current code simply never derives);
+        classification therefore has to unpickle the entry.
+        """
+        try:
+            self._load_payload(path)
+        except _StaleSchemaError:
+            return "stale"
+        except Exception:
+            return "corrupt"
+        return "live"
+
+    def _classified_entries(self):
+        """Yield ``(path, size, kind)`` for every on-disk entry."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*.pkl")):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            yield path, size, self._classify(path)
+
+    @staticmethod
+    def _count(census: EntryScan, kind: str, size: int) -> None:
+        setattr(census, kind, getattr(census, kind) + 1)
+        bytes_field = f"{kind}_bytes"
+        setattr(census, bytes_field, getattr(census, bytes_field) + size)
+
+    def scan(self) -> EntryScan:
+        """Census of on-disk entries: live vs stale-schema vs corrupt.
+
+        ``get`` never opens stale-schema files (their keys are
+        unreachable under the current schema), so without this census
+        they masquerade as live entries in any count of ``*.pkl``
+        files.  Reads every entry -- meant for the ``repro cache``
+        inspection commands, not hot paths.
+        """
+        census = EntryScan()
+        for _, size, kind in self._classified_entries():
+            self._count(census, kind, size)
+        return census
+
+    def prune(self) -> EntryScan:
+        """Delete stale-schema and corrupt entries; keep live ones.
+
+        Returns a census of what was removed (``live`` fields stay 0).
+        The memory layer is untouched: it only ever holds entries
+        loaded or put under the current schema.
+        """
+        removed = EntryScan()
+        for path, size, kind in self._classified_entries():
+            if kind == "live":
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self._count(removed, kind, size)
         return removed
 
     def entry_count(self) -> int:

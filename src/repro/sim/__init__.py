@@ -1,7 +1,12 @@
 """HAAC hardware model: config, DRAM, timing and functional simulation."""
 
 from .config import INSTR_BYTES, OOR_ADDR_BYTES, TABLE_BYTES, HaacConfig, Role
-from .coupled import CoupledResult, coupled_runtime, pull_based_runtime
+from .coupled import (
+    CoupledResult,
+    coupled_runtime,
+    coupled_runtime_batch,
+    pull_based_runtime,
+)
 from .dram import DDR4, HBM2, BandwidthLedger, DramSpec
 from .engine import (
     ENGINE_ENV_VAR,
@@ -14,7 +19,7 @@ from .ge import GePipelineModel
 from .multicore import MulticoreResult, partition_components, simulate_multicore
 from .pipeline import HaacRun, run_best_reorder, run_haac
 from .stats import SimResult, StallBreakdown
-from .timing import compute_traffic, simulate
+from .timing import compute_traffic, simulate, simulate_batch
 
 __all__ = [
     "ENGINE_ENV_VAR",
@@ -22,6 +27,7 @@ __all__ = [
     "compiled_arrays",
     "engine_mode",
     "coupled_runtime",
+    "coupled_runtime_batch",
     "pull_based_runtime",
     "CoupledResult",
     "GePipelineModel",
@@ -38,6 +44,7 @@ __all__ = [
     "HBM2",
     "BandwidthLedger",
     "simulate",
+    "simulate_batch",
     "compute_traffic",
     "SimResult",
     "StallBreakdown",

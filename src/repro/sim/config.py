@@ -159,6 +159,36 @@ class HaacConfig:
 
         return replace(self, **changes)
 
+    def variants(self, **sweeps) -> "list[HaacConfig]":
+        """Design points over the cartesian product of field sweeps.
+
+        Each keyword names a config field and maps to an iterable of
+        values; the result is one config per combination, with the last
+        keyword varying fastest (row-major, like nested loops)::
+
+            config.variants(dram=[DDR4, HBM2], role=list(Role))
+
+        A scalar (non-iterable, or a string) is treated as a
+        single-value sweep, so fixed overrides mix freely with swept
+        axes.  The returned list feeds
+        :func:`repro.sim.timing.simulate_batch` and friends directly.
+        """
+        axes = []
+        for name, values in sweeps.items():
+            if isinstance(values, (str, bytes)) or not hasattr(
+                values, "__iter__"
+            ):
+                values = [values]
+            axes.append((name, list(values)))
+        configs = [self]
+        for name, values in axes:
+            configs = [
+                config._replace(**{name: value})
+                for config in configs
+                for value in values
+            ]
+        return configs
+
     @staticmethod
     def paper_default(dram: DramSpec = DDR4) -> "HaacConfig":
         """The 16 GE / 2 MB SWW / 64-bank design of the evaluation."""

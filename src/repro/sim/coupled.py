@@ -40,7 +40,13 @@ from .engine import (
 )
 from .timing import compute_traffic, simulate
 
-__all__ = ["CoupledResult", "coupled_runtime", "pull_based_runtime", "DRAM_LATENCY_CYCLES"]
+__all__ = [
+    "CoupledResult",
+    "coupled_runtime",
+    "coupled_runtime_batch",
+    "pull_based_runtime",
+    "DRAM_LATENCY_CYCLES",
+]
 
 #: Demand-miss round trip (row activation + transfer + controller), in
 #: GE cycles at 1 GHz.  Typical DDR4 closed-page random read latency.
@@ -214,6 +220,85 @@ def coupled_runtime(
         stall_cycles=stall,
         ge_clock_hz=config.ge_clock_hz,
     )
+
+
+def coupled_runtime_batch(
+    streams: StreamSet,
+    config: HaacConfig,
+    queue_bytes_list,
+    decoupled=None,
+) -> "list[CoupledResult]":
+    """Finite-queue runtimes for a whole queue-size sweep in one pass.
+
+    On the numpy engine the decoupled baseline simulates once and the
+    per-instruction byte prefix sums once; the fill-time recurrence then
+    broadcasts over a leading queue axis (``(Q, n)``), so a whole queue
+    sweep costs one replay plus Q rows of elementwise array ops.  Each
+    row is bit-identical to ``coupled_runtime(streams, config, q)`` --
+    the recurrence is elementwise on the shared exact-integer prefix
+    sums, and ``np.cumsum`` accumulates each row strictly left-to-right
+    like the serial stall sum.  Other engines (and NumPy-less hosts)
+    fall back to per-point :func:`coupled_runtime` calls.
+
+    ``decoupled`` accepts the caller's already-simulated baseline
+    ``SimResult`` for ``(streams, config)`` (sweeps usually have one in
+    hand); omitted, it is simulated here.  Replays are deterministic,
+    so either way the results are identical.
+    """
+    queue_list = [
+        queue_bytes
+        if queue_bytes is not None
+        else config.queue_sram_bytes // max(1, config.n_ges)
+        for queue_bytes in queue_bytes_list
+    ]
+    if engine_mode(config.sim_engine) != ENGINE_NUMPY or not queue_list:
+        return [
+            coupled_runtime(streams, config, queue_bytes)
+            for queue_bytes in queue_list
+        ]
+    import numpy as np
+
+    if decoupled is None:
+        decoupled = simulate(streams, config)
+    bandwidth = config.dram_bytes_per_ge_cycle
+    input_bytes = streams.program.n_inputs * WIRE_BYTES
+    plan = numpy_plan(compiled_arrays(streams))
+    oor_cost = WIRE_BYTES + OOR_ADDR_BYTES
+    costs = (
+        float(config.instr_bytes)
+        + TABLE_BYTES * plan.is_and_p
+        + oor_cost * plan.oor_a_p
+        + oor_cost * plan.oor_b_p
+        + WIRE_BYTES * plan.live_p
+    )
+    prefix = np.cumsum(costs)
+    if len(prefix):
+        queues = np.asarray(queue_list, dtype=np.float64)[:, None]
+        fill_time = (input_bytes + prefix[None, :] - queues) / bandwidth
+        issue = np.maximum(plan.issue_cycle_p[None, :], fill_time)
+        lag = issue - plan.issue_cycle_p[None, :]
+        stall_rows = np.cumsum(lag, axis=1)[:, -1]
+        latency = np.where(
+            plan.is_and_p, config.and_latency, config.xor_latency
+        )
+        finish_rows = (issue + latency[None, :] + config.writeback_stages).max(
+            axis=1
+        )
+    else:
+        stall_rows = np.zeros(len(queue_list))
+        finish_rows = np.zeros(len(queue_list))
+    return [
+        CoupledResult(
+            name=f"coupled({queue_bytes}B/GE)",
+            cycles=max(float(finish), decoupled.traffic_cycles),
+            decoupled_cycles=decoupled.runtime_cycles,
+            stall_cycles=float(stall),
+            ge_clock_hz=config.ge_clock_hz,
+        )
+        for queue_bytes, finish, stall in zip(
+            queue_list, finish_rows, stall_rows
+        )
+    ]
 
 
 def pull_based_runtime(

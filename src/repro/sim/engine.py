@@ -32,6 +32,13 @@ Three engines, selected by ``REPRO_SIM_ENGINE`` (or
 All three produce bit-identical cycle counts, stall breakdowns and
 per-GE issue counts (asserted by ``tests/sim/test_engine_equivalence``
 for every stdlib family at every opt level).
+
+The numpy engine additionally offers a *batched config axis*
+(:func:`compute_cycles_numpy_batched`, dispatched through
+:func:`compute_cycles_batch`): every config-dependent scalar of the
+replay gains a leading ``C`` axis so one pass over the dependence
+levels retires all C configs of a scenario sweep simultaneously --
+each row bit-identical to its serial replay.
 """
 
 from __future__ import annotations
@@ -59,7 +66,9 @@ __all__ = [
     "engine_mode",
     "compiled_arrays",
     "compute_cycles",
+    "compute_cycles_batch",
     "compute_cycles_numpy",
+    "compute_cycles_numpy_batched",
     "compute_cycles_vectorized",
     "compute_cycles_reference",
 ]
@@ -158,9 +167,12 @@ class CompiledArrays:
           runs strictly after producer ``w - n_inputs``;
         * **window-sync**: ``p`` overwrites the slot of wire
           ``n_inputs + p - capacity``, so it runs strictly after every
-          program-order-earlier reader of that wire (their
-          ``last_read_issue`` must be final when ``p`` gathers it);
-          conversely a *later* reader ``q > t`` of a wire whose slot
+          program-order-earlier access of that wire -- its readers
+          (their ``last_read_issue`` must be final when ``p`` gathers
+          it) *and* its producer ``p - capacity`` (the write is the
+          slot's first access; without this a reader-less wire lets the
+          evictor land before its lagging producer -- a WAW slot
+          hazard); conversely a *later* reader ``q > t`` of a wire whose slot
           instruction ``t`` already overwrote (an OoR read served by the
           queue) must not land in an earlier level than ``t``, or its
           ``last_read_issue`` update would become visible to ``t``'s
@@ -201,6 +213,11 @@ class CompiledArrays:
             ge = ge_of[p]
             if ge_level[ge] > lvl:
                 lvl = ge_level[ge]
+            # Evictor after the evicted wire's producer (WAW on the
+            # slot): p overwrites the slot written by p - capacity.
+            tp = p - self.capacity
+            if tp >= 0 and level_of[tp] >= lvl:
+                lvl = level_of[tp] + 1
             ta = a + shift
             tb = b + shift
             # Reader after evictor: don't outrun the overwriter's level.
@@ -517,6 +534,10 @@ def compute_cycles_numpy(
 
         value_ready[plan.out_s[s:e]] = issue + latency_s[s:e]
         read = issue + 1
+        # The write is its out wire's first slot access (virgin entry:
+        # data levels put every reader strictly later), so plain
+        # assignment matches the scalar engines' WAW ordering.
+        last_read[plan.out_s[s:e]] = read
         pair = read2[: 2 * (e - s)]
         pair[0::2] = read
         pair[1::2] = read
@@ -539,6 +560,213 @@ def compute_cycles_numpy(
         if count
     }
     return max_finish, issued
+
+
+def compute_cycles_batch(
+    streams: StreamSet,
+    configs,
+    stalls_list: Optional[List[StallBreakdown]] = None,
+) -> List[Tuple[int, Dict[int, int]]]:
+    """Replay one compiled program under many configs, batching the work.
+
+    Configs that resolve to the numpy engine without bank-conflict
+    modelling retire together through
+    :func:`compute_cycles_numpy_batched` (a leading config axis on the
+    level replay); every other config -- a NumPy-less interpreter, a
+    pinned ``vectorized``/``reference`` engine, or
+    ``model_bank_conflicts`` (whose port arbitration is inherently
+    sequential) -- falls back to its own :func:`compute_cycles` call.
+    Mixed batches therefore always work; per-config results are
+    bit-identical to serial ``compute_cycles`` calls either way.
+
+    ``stalls_list`` (one :class:`StallBreakdown` per config, fresh ones
+    when omitted) is mutated exactly like the serial path mutates its
+    single breakdown.
+    """
+    configs = list(configs)
+    if stalls_list is None:
+        stalls_list = [StallBreakdown() for _ in configs]
+    if len(stalls_list) != len(configs):
+        raise ValueError("need one StallBreakdown per config")
+    results: List[Optional[Tuple[int, Dict[int, int]]]] = [None] * len(configs)
+    batched: List[int] = []
+    for index, config in enumerate(configs):
+        if (
+            _np is not None
+            and engine_mode(config.sim_engine) == ENGINE_NUMPY
+            and not config.model_bank_conflicts
+        ):
+            batched.append(index)
+        else:
+            results[index] = compute_cycles(streams, config, stalls_list[index])
+    if batched:
+        sub = compute_cycles_numpy_batched(
+            compiled_arrays(streams),
+            [configs[index] for index in batched],
+            [stalls_list[index] for index in batched],
+        )
+        for index, value in zip(batched, sub):
+            results[index] = value
+    return results  # type: ignore[return-value]
+
+
+def compute_cycles_numpy_batched(
+    arrays: CompiledArrays,
+    configs,
+    stalls_list: Optional[List[StallBreakdown]] = None,
+) -> List[Tuple[int, Dict[int, int]]]:
+    """Level-parallel replay of **all configs at once** (leading C axis).
+
+    The batched sibling of :func:`compute_cycles_numpy`: every
+    config-dependent scalar of the replay -- AND/XOR latency (the
+    role's Half-Gate depth), the cross-GE forwarding penalty and the
+    writeback depth -- becomes a ``(C, 1)`` column broadcast against
+    the per-level slices, and every piece of replay state
+    (``value_ready``, ``last_read``, ``ge_last_issue``, the stall
+    scratch vectors) gains a leading config axis.  Each dependence
+    level then retires once for all C configs: the gathers, the
+    segmented prefix-max issue rule (``np.maximum.accumulate`` along
+    ``axis=1``; the segment bias broadcasts unchanged) and the stall
+    recovery are the exact same integer array ops row-for-row, so each
+    row is bit-identical to a serial :func:`compute_cycles_numpy` call
+    with that config.
+
+    Configs whose four compute scalars coincide (a DRAM-bandwidth or
+    queue sweep varies nothing the compute replay reads) are deduped to
+    one replay row and share its results -- the common scenario-grid
+    case pays for one replay regardless of grid size.
+
+    Callers must guarantee NumPy is importable and no config sets
+    ``model_bank_conflicts`` (use :func:`compute_cycles_batch` for the
+    general dispatch).
+    """
+    np = _np
+    if np is None:  # pragma: no cover - dispatcher guards this
+        raise RuntimeError("compute_cycles_numpy_batched requires NumPy")
+    configs = list(configs)
+    if stalls_list is None:
+        stalls_list = [StallBreakdown() for _ in configs]
+    if len(stalls_list) != len(configs):
+        raise ValueError("need one StallBreakdown per config")
+    if not configs:
+        return []
+    n = arrays.n_instructions
+    if n == 0:
+        return [(0, {}) for _ in configs]
+    plan = numpy_plan(arrays)
+
+    signatures = [
+        (
+            config.and_latency,
+            config.xor_latency,
+            config.cross_ge_forward,
+            config.writeback_stages,
+        )
+        for config in configs
+    ]
+    unique: Dict[Tuple[int, int, int, int], int] = {}
+    row_of = []
+    for signature in signatures:
+        row = unique.get(signature)
+        if row is None:
+            row = len(unique)
+            unique[signature] = row
+        row_of.append(row)
+    rows = list(unique)
+    and_lat = np.array([sig[0] for sig in rows], dtype=np.int64)[:, None]
+    xor_lat = np.array([sig[1] for sig in rows], dtype=np.int64)[:, None]
+    forward = np.array([sig[2] for sig in rows], dtype=np.int64)[:, None]
+    writeback = np.array([sig[3] for sig in rows], dtype=np.int64)
+    n_rows = len(rows)
+
+    latency_s = np.where(plan.is_and_s[None, :], and_lat, xor_lat)
+    fwd_a = plan.fwd_a_cost[None, :] * forward
+    fwd_b = plan.fwd_b_cost[None, :] * forward
+
+    n_slots = arrays.n_wires + 1
+    value_ready = np.zeros((n_rows, n_slots), dtype=np.int64)
+    last_read = np.zeros((n_rows, n_slots), dtype=np.int64)
+    # Scatter-max target as a flat view: per-level indices become
+    # row_offset + wire id, one np.maximum.at for the whole batch.
+    last_read_flat = last_read.reshape(-1)
+    row_offset = (np.arange(n_rows, dtype=np.int64) * n_slots)[:, None]
+    ge_last_issue = np.full((n_rows, arrays.n_ges), -1, dtype=np.int64)
+    dep_terms = np.zeros((n_rows, n), dtype=np.int64)
+    ws_terms = np.zeros((n_rows, n), dtype=np.int64)
+
+    level_bounds = plan.level_bounds
+    seg_bounds = plan.seg_bounds
+    seg_rel_first = plan.seg_rel_first
+    seg_rel_last = plan.seg_rel_last
+    seg_ge = plan.seg_ge
+    for li in range(arrays.n_levels):
+        s = level_bounds[li]
+        e = level_bounds[li + 1]
+        a = plan.a_s[s:e]
+        b = plan.b_s[s:e]
+        k = plan.k_seg[s:e]
+
+        ready = np.maximum(value_ready[:, a] + fwd_a[:, s:e],
+                           value_ready[:, b] + fwd_b[:, s:e])
+        data_avail = ready
+        if plan.level_has_evict[li]:
+            ws = last_read[:, plan.evict_idx_s[s:e]]
+            ready = np.maximum(data_avail, ws)
+        else:
+            ws = None
+
+        sp = ready - k
+        seg_lo = seg_bounds[li]
+        seg_hi = seg_bounds[li + 1]
+        starts = seg_rel_first[seg_lo:seg_hi]
+        base = ge_last_issue[:, seg_ge[seg_lo:seg_hi]] + 1
+        sp[:, starts] = np.maximum(sp[:, starts], base)
+        if plan.level_multi_seg[li]:
+            bias = plan.bias_s[s:e]
+            issue = np.maximum.accumulate(sp + bias, axis=1) - bias
+        else:
+            issue = np.maximum.accumulate(sp, axis=1)
+        issue += k
+
+        earliest = np.empty_like(issue)
+        earliest[:, 1:] = issue[:, :-1] + 1
+        earliest[:, starts] = base
+        np.subtract(data_avail, earliest, out=dep_terms[:, s:e])
+        if ws is not None:
+            np.subtract(
+                ws, np.maximum(earliest, data_avail), out=ws_terms[:, s:e]
+            )
+
+        value_ready[:, plan.out_s[s:e]] = issue + latency_s[:, s:e]
+        read = issue + 1
+        last_read[:, plan.out_s[s:e]] = read
+        width = e - s
+        pair = np.empty((n_rows, 2 * width), dtype=np.int64)
+        pair[:, 0::2] = read
+        pair[:, 1::2] = read
+        flat_idx = row_offset + plan.ab_s[2 * s:2 * e][None, :]
+        np.maximum.at(last_read_flat, flat_idx.reshape(-1), pair.reshape(-1))
+        ends = seg_rel_last[seg_lo:seg_hi]
+        ge_last_issue[:, seg_ge[seg_lo:seg_hi]] = issue[:, ends]
+
+    finish = value_ready[:, arrays.n_inputs:arrays.n_inputs + n].max(axis=1)
+    finish += writeback
+    assert int(finish.max()) + n < _SEG_BIAS, "cycle count overflows segment bias"
+    dep_sum = np.where(dep_terms > 0, dep_terms, 0).sum(axis=1)
+    ws_sum = np.where(ws_terms > 0, ws_terms, 0).sum(axis=1)
+    drain = np.maximum(finish - (ge_last_issue.max(axis=1) + 1), 0)
+    issued = {
+        index: int(count)
+        for index, count in enumerate(plan.issued_per_ge)
+        if count
+    }
+    results = []
+    for stalls, row in zip(stalls_list, row_of):
+        stalls.dependence += int(dep_sum[row])
+        stalls.window_sync += int(ws_sum[row])
+        stalls.drain += int(drain[row])
+        results.append((int(finish[row]), dict(issued)))
+    return results
 
 
 def compute_cycles_vectorized(
@@ -565,8 +793,9 @@ def compute_cycles_vectorized(
     ge_last_issue = [-1] * arrays.n_ges
     issued_per_ge = [0] * arrays.n_ges
     # Window-sync hazard of the tagless SWW: a write to wire o lands in
-    # the slot of wire o - capacity and must wait for its last in-window
-    # reader (see core.passes.streams._greedy_schedule).
+    # the slot of wire o - capacity and must wait for that wire's last
+    # in-window access -- readers and the producing write itself (see
+    # core.passes.streams._greedy_schedule).
     capacity = arrays.capacity
     last_read_issue = [0] * n_wires
 
@@ -640,6 +869,9 @@ def compute_cycles_vectorized(
         value_ready[out] = issue + latency
         producer_ge[out] = ge
         read_issue = issue + 1
+        # The write is the slot's first access (WAW ordering for the
+        # future evictor of `out`, readers or not).
+        last_read_issue[out] = read_issue
         if read_issue > last_read_issue[a]:
             last_read_issue[a] = read_issue
         if read_issue > last_read_issue[b]:
@@ -734,6 +966,7 @@ def compute_cycles_reference(
         issued_per_ge[ge] = issued_per_ge.get(ge, 0) + 1
         value_ready[out] = issue + latency
         producer_ge[out] = ge
+        last_read_issue[out] = issue + 1
         for wire in (gate.a, gate.b):
             if issue + 1 > last_read_issue.get(wire, 0):
                 last_read_issue[wire] = issue + 1

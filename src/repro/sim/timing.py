@@ -25,14 +25,16 @@ their 4-byte address stream, and live-wire write-backs.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from ..core.passes.streams import StreamSet
 from ..core.sww import WIRE_BYTES
 from .config import OOR_ADDR_BYTES, TABLE_BYTES, HaacConfig
 from .dram import BandwidthLedger
-from .engine import compute_cycles
+from .engine import compute_cycles, compute_cycles_batch
 from .stats import SimResult, StallBreakdown
 
-__all__ = ["simulate", "compute_traffic"]
+__all__ = ["simulate", "simulate_batch", "compute_traffic"]
 
 
 def compute_traffic(streams: StreamSet, config: HaacConfig) -> BandwidthLedger:
@@ -58,6 +60,39 @@ def simulate(streams: StreamSet, config: HaacConfig) -> SimResult:
     """
     stalls = StallBreakdown()
     compute_cycles_total, issued_per_ge = compute_cycles(streams, config, stalls)
+    return _pack_result(streams, config, compute_cycles_total, issued_per_ge, stalls)
+
+
+def simulate_batch(
+    streams: StreamSet, configs: Sequence[HaacConfig]
+) -> List[SimResult]:
+    """Decoupled timing model for one program under many configs at once.
+
+    The compute replay runs batched
+    (:func:`repro.sim.engine.compute_cycles_batch`): configs on the
+    numpy engine without bank-conflict modelling share one level pass
+    with a leading config axis (and configs whose compute scalars
+    coincide -- a DRAM-bandwidth sweep -- share one replay row);
+    everything else falls back to a per-config replay.  Each returned
+    :class:`SimResult` is bit-identical to ``simulate(streams, config)``
+    for its config; only the wall time differs.
+    """
+    configs = list(configs)
+    stalls_list = [StallBreakdown() for _ in configs]
+    compute = compute_cycles_batch(streams, configs, stalls_list)
+    return [
+        _pack_result(streams, config, cycles, issued, stalls)
+        for config, (cycles, issued), stalls in zip(configs, compute, stalls_list)
+    ]
+
+
+def _pack_result(
+    streams: StreamSet,
+    config: HaacConfig,
+    compute_cycles_total: int,
+    issued_per_ge,
+    stalls: StallBreakdown,
+) -> SimResult:
     ledger = compute_traffic(streams, config)
     traffic_cycles = ledger.total_bytes / config.dram_bytes_per_ge_cycle
     program = streams.program

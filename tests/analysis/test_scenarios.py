@@ -1,0 +1,131 @@
+"""Scenario-grid analysis: loader, summary round trip, rendering, CLI."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import scenarios as sc
+from repro.cli import main
+
+FIXTURE = pathlib.Path(__file__).parent / "data" / "BENCH_scenarios_fixture.json"
+
+
+@pytest.fixture
+def report():
+    return sc.load_report(FIXTURE)
+
+
+class TestLoader:
+    def test_fixture_loads(self, report):
+        assert set(report["workloads"]) == {"ReLU", "Hamm"}
+
+    def test_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "repro.bench_throughput/v1"}))
+        with pytest.raises(ValueError, match="not a scenario-grid artifact"):
+            sc.load_report(path)
+
+    def test_rejects_missing_workloads(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps(
+            {"schema": "repro.bench_scenarios/v2", "workloads": {}}
+        ))
+        with pytest.raises(ValueError, match="no workload sections"):
+            sc.load_report(path)
+
+    def test_v1_artifact_gets_derived_summary(self, tmp_path):
+        """Pre-summary (v1) artifacts load with an equivalent derived
+        summary block -- the round trip the persisted block replaces."""
+        data = json.loads(FIXTURE.read_text())
+        data["schema"] = "repro.bench_scenarios/v1"
+        persisted = {}
+        for name, section in data["workloads"].items():
+            persisted[name] = section.pop("summary")
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(data))
+        loaded = sc.load_report(path)
+        for name, section in loaded["workloads"].items():
+            assert section["summary"] == persisted[name]
+
+    def test_summary_round_trips_with_sweeps(self, report):
+        """The persisted summary agrees with re-deriving it from the
+        sweeps it summarises."""
+        for section in report["workloads"].values():
+            derived = sc.summarize_sweeps(
+                section["queue_sweep"], section["bandwidth_sweep"],
+                section["summary"]["scenarios"],
+            )
+            assert derived == section["summary"]
+
+
+class TestRendering:
+    def test_summary_table_reached_and_not_reached(self, report):
+        table = sc.summary_table(report)
+        assert "1024B/GE" in table
+        assert "512 GB/s" in table
+        assert table.count("not reached in sweep") == 2  # Hamm knee + flip
+        assert "2.6x" in table and "2.9x" in table
+
+    def test_queue_chart_labels(self, report):
+        chart = sc.queue_chart("ReLU", report["workloads"]["ReLU"])
+        assert "64B" in chart and "65536B" in chart
+        assert "queue bytes/GE" in chart
+
+    def test_bandwidth_chart_marks_memory_bound(self, report):
+        chart = sc.bandwidth_chart("ReLU", report["workloads"]["ReLU"])
+        assert "8.8GB/s*" in chart
+        assert "512GB/s " in chart or "512GB/s |" in chart  # not starred
+
+    def test_render_report_full(self, report):
+        text = sc.render_report(report, source="fixture.json")
+        assert "scenario grid (repro.bench_scenarios/v2, engine=numpy)" in text
+        assert "from fixture.json" in text
+        assert "Scenario grid: queue-SRAM knee" in text
+        for name in ("ReLU", "Hamm"):
+            assert f"{name}: coupled slowdown" in text
+            assert f"{name}: decoupled runtime cycles" in text
+
+    def test_render_report_subset_and_unknown(self, report):
+        text = sc.render_report(report, workloads=["Hamm"])
+        assert "Hamm: coupled slowdown" in text
+        assert "ReLU: coupled slowdown" not in text
+        with pytest.raises(KeyError, match="NotAThing"):
+            sc.render_report(report, workloads=["NotAThing"])
+
+
+class TestCli:
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios", str(FIXTURE)]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario grid: queue-SRAM knee" in out
+        assert "not reached in sweep" in out
+
+    def test_scenarios_subset(self, capsys):
+        assert main(["scenarios", str(FIXTURE), "--workloads", "ReLU"]) == 0
+        out = capsys.readouterr().out
+        assert "ReLU: coupled slowdown" in out
+        assert "Hamm: coupled slowdown" not in out
+
+    def test_scenarios_unknown_workload(self, capsys):
+        assert main(["scenarios", str(FIXTURE), "--workloads", "Nope"]) == 2
+        assert "Nope" in capsys.readouterr().err
+
+    def test_scenarios_missing_file(self, tmp_path, capsys):
+        assert main(["scenarios", str(tmp_path / "nope.json")]) == 2
+        assert capsys.readouterr().err
+
+    def test_scenarios_bad_schema(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        assert main(["scenarios", str(path)]) == 2
+        assert "not a scenario-grid artifact" in capsys.readouterr().err
+
+    def test_scenarios_default_path_resolution(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "BENCH_scenarios.json").write_text(FIXTURE.read_text())
+        assert main(["scenarios"]) == 0
+        assert "Scenario grid" in capsys.readouterr().out

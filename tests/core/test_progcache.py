@@ -370,3 +370,84 @@ class TestWiring:
         simulate_multicore(built.circuit, config, 2)
         store = resolve_cache(str(tmp_path))
         assert store.entry_count() > 0
+
+
+class TestScanPrune:
+    """Stale-schema census and pruning: pre-current-schema entries are
+    unreachable (the schema is baked into the key), so info must not
+    count them as live and prune must delete exactly them."""
+
+    def _seed(self, tmp_path, config):
+        """One live entry plus one stale-schema and two corrupt files."""
+        import pickle
+
+        from repro.core.progcache import CACHE_SCHEMA
+
+        store = ProgramCache(tmp_path)
+        result = compile_circuit(
+            _adder(), config.window, config.n_ges,
+            opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+            cache=store,
+        )
+        stale_key = "ab" * 32
+        (tmp_path / f"{stale_key}.pkl").write_bytes(pickle.dumps({
+            "schema": CACHE_SCHEMA - 1, "key": stale_key, "result": result,
+        }))
+        (tmp_path / ("cd" * 32 + ".pkl")).write_bytes(b"not a pickle")
+        mismatch_key = "ef" * 32
+        (tmp_path / f"{mismatch_key}.pkl").write_bytes(pickle.dumps({
+            "schema": CACHE_SCHEMA, "key": "something else", "result": result,
+        }))
+        return store
+
+    def test_scan_classifies_entries(self, tmp_path, config):
+        store = self._seed(tmp_path, config)
+        census = store.scan()
+        assert census.live == 1
+        assert census.stale == 1
+        assert census.corrupt == 2  # unparseable + key mismatch
+        assert census.live_bytes > 0 and census.stale_bytes > 0
+        # The naive file count would report all four as live entries.
+        assert store.entry_count() == 4
+
+    def test_scan_empty_store(self, tmp_path):
+        assert ProgramCache(tmp_path / "nowhere").scan().as_dict() == {
+            "live": 0, "live_bytes": 0, "stale": 0, "stale_bytes": 0,
+            "corrupt": 0, "corrupt_bytes": 0,
+        }
+
+    def test_prune_keeps_live_entries_loadable(self, tmp_path, config):
+        store = self._seed(tmp_path, config)
+        removed = store.prune()
+        assert removed.stale == 1 and removed.corrupt == 2
+        assert removed.live == 0
+        after = store.scan()
+        assert (after.live, after.stale, after.corrupt) == (1, 0, 0)
+        # The surviving entry is the reachable one: a fresh store warms
+        # from it without recompiling.
+        fresh = ProgramCache(tmp_path)
+        key = compile_key(
+            _adder(), config.window.capacity, config.n_ges,
+            OptLevel.RO_RN_ESW, config.schedule_params(),
+        )
+        assert fresh.get(key) is not None
+        assert fresh.stats.hits == 1
+
+    def test_clear_also_removes_stale(self, tmp_path, config):
+        store = self._seed(tmp_path, config)
+        assert store.clear() == 4
+        assert store.scan().as_dict()["live"] == 0
+
+    def test_cache_cli_info_and_prune(self, tmp_path, config, capsys):
+        from repro.cli import main
+
+        self._seed(tmp_path, config)
+        assert main(["cache", "info", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "live entries" in out and "stale-schema entries" in out
+        assert "repro cache prune" in out
+        assert main(["cache", "prune", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale-schema and 2 corrupt entries" in out
+        assert main(["cache", "info", "--dir", str(tmp_path)]) == 0
+        assert "repro cache prune" not in capsys.readouterr().out

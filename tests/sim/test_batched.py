@@ -1,0 +1,228 @@
+"""Batched multi-config replay: bit-identity with the serial loops.
+
+The contract under test: ``simulate_batch`` / ``coupled_runtime_batch``
+(and the ``compute_cycles_batch`` dispatcher underneath) return, for
+every config / queue size in the batch, exactly what the serial
+``simulate`` / ``coupled_runtime`` calls return -- under every engine,
+including the bank-conflict fallback (inherently sequential port
+arbitration) and the NumPy-absent fallback.  Covered across three
+workload families so the batched axis sees real OoR / window-sync
+structure, not just one circuit shape.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+import repro.sim.engine as engine_module
+from repro.core.compiler import OptLevel, compile_circuit
+from repro.sim.config import HaacConfig, Role
+from repro.sim.coupled import coupled_runtime, coupled_runtime_batch
+from repro.sim.dram import DDR4, HBM2, DramSpec
+from repro.sim.engine import (
+    ENGINE_ENV_VAR,
+    ENGINE_NUMPY,
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    compute_cycles_batch,
+    compute_cycles_numpy_batched,
+    compiled_arrays,
+)
+from repro.sim.stats import StallBreakdown
+from repro.sim.timing import simulate, simulate_batch
+from repro.workloads import get_workload
+
+ALL_ENGINES = (ENGINE_NUMPY, ENGINE_VECTORIZED, ENGINE_REFERENCE)
+
+#: Three workload families, small builds (compile once per session).
+WORKLOADS = {
+    "ReLU": {"k": 16, "width": 8},
+    "Hamm": {"n_bits": 64},
+    "MatMult": {"n": 2, "width": 4},
+}
+
+QUEUES = [64, 256, 4096, 1 << 20, None]
+
+
+@lru_cache(maxsize=None)
+def _compiled(name: str):
+    config = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+    built = get_workload(name).build(**WORKLOADS[name])
+    result = compile_circuit(
+        built.circuit, config.window, config.n_ges,
+        opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+    )
+    return result.streams, config
+
+
+def _grid(config):
+    """A batch with several distinct compute signatures plus duplicates:
+    both roles (AND latency), a forwarding variant, a writeback/XOR
+    variant, two DRAM points (compute-identical -- the dedup case)."""
+    return config.variants(dram=[DDR4, HBM2], role=list(Role)) + [
+        config._replace(cross_ge_forward=2),
+        config._replace(writeback_stages=4, xor_latency=2),
+        config,  # duplicate of the first entry
+    ]
+
+
+def _snap(sim):
+    return (
+        sim.compute_cycles,
+        sim.traffic_cycles,
+        sim.stalls.as_dict(),
+        dict(sim.issued_per_ge),
+        sim.memory_bound,
+    )
+
+
+def _coupled_snap(point):
+    return (point.name, point.cycles, point.stall_cycles, point.decoupled_cycles)
+
+
+@pytest.mark.parametrize("family", sorted(WORKLOADS))
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+class TestBatchedVsSerial:
+    def test_simulate_batch_identical(self, monkeypatch, family, engine):
+        monkeypatch.setenv(ENGINE_ENV_VAR, engine)
+        streams, config = _compiled(family)
+        configs = _grid(config)
+        serial = [_snap(simulate(streams, c)) for c in configs]
+        batched = [_snap(s) for s in simulate_batch(streams, configs)]
+        assert batched == serial
+
+    def test_coupled_batch_identical(self, monkeypatch, family, engine):
+        monkeypatch.setenv(ENGINE_ENV_VAR, engine)
+        streams, config = _compiled(family)
+        serial = [
+            _coupled_snap(coupled_runtime(streams, config, q)) for q in QUEUES
+        ]
+        batched = [
+            _coupled_snap(p)
+            for p in coupled_runtime_batch(streams, config, QUEUES)
+        ]
+        assert batched == serial
+
+    def test_bank_conflict_configs_fall_back(self, monkeypatch, family, engine):
+        """model_bank_conflicts rides in a mixed batch via the serial
+        fallback and stays indistinguishable from serial calls."""
+        monkeypatch.setenv(ENGINE_ENV_VAR, engine)
+        streams, config = _compiled(family)
+        configs = [
+            config,
+            config._replace(model_bank_conflicts=True),
+            config.with_role(Role.GARBLER)._replace(model_bank_conflicts=True),
+            config.with_role(Role.GARBLER),
+        ]
+        serial = [_snap(simulate(streams, c)) for c in configs]
+        batched = [_snap(s) for s in simulate_batch(streams, configs)]
+        assert batched == serial
+
+
+class TestNumpyAbsentFallback:
+    @pytest.mark.parametrize("family", sorted(WORKLOADS))
+    def test_simulate_batch_without_numpy(self, monkeypatch, family):
+        streams, config = _compiled(family)
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        expected = [_snap(simulate(streams, c)) for c in _grid(config)]
+        monkeypatch.setattr(engine_module, "_np", None)
+        batched = [_snap(s) for s in simulate_batch(streams, _grid(config))]
+        assert batched == expected
+
+    def test_coupled_batch_without_numpy(self, monkeypatch):
+        streams, config = _compiled("ReLU")
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        expected = [
+            _coupled_snap(coupled_runtime(streams, config, q)) for q in QUEUES
+        ]
+        monkeypatch.setattr(engine_module, "_np", None)
+        batched = [
+            _coupled_snap(p)
+            for p in coupled_runtime_batch(streams, config, QUEUES)
+        ]
+        assert batched == expected
+
+
+class TestComputeCyclesBatch:
+    def test_empty_batch(self):
+        streams, _ = _compiled("ReLU")
+        assert compute_cycles_batch(streams, []) == []
+        assert simulate_batch(streams, []) == []
+        assert coupled_runtime_batch(streams, _compiled("ReLU")[1], []) == []
+
+    def test_stalls_list_length_checked(self):
+        streams, config = _compiled("ReLU")
+        with pytest.raises(ValueError):
+            compute_cycles_batch(streams, [config], [])
+        with pytest.raises(ValueError):
+            compute_cycles_numpy_batched(
+                compiled_arrays(streams), [config], [StallBreakdown()] * 2
+            )
+
+    def test_stall_breakdowns_accumulate_like_serial(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, ENGINE_NUMPY)
+        streams, config = _compiled("Hamm")
+        configs = [config, config.with_role(Role.GARBLER)]
+        serial_stalls = []
+        for c in configs:
+            stalls = StallBreakdown()
+            engine_module.compute_cycles(streams, c, stalls)
+            serial_stalls.append(stalls.as_dict())
+        batch_stalls = [StallBreakdown() for _ in configs]
+        compute_cycles_batch(streams, configs, batch_stalls)
+        assert [s.as_dict() for s in batch_stalls] == serial_stalls
+
+    def test_duplicate_configs_share_a_row(self, monkeypatch):
+        """Dedup by compute signature: many compute-identical configs
+        (a bandwidth sweep) cost one replay row and return equal
+        results."""
+        monkeypatch.setenv(ENGINE_ENV_VAR, ENGINE_NUMPY)
+        streams, config = _compiled("ReLU")
+        sweep = config.variants(
+            dram=[DramSpec(name=f"{g}GB/s", bandwidth_gb_s=g)
+                  for g in (8.8, 35.2, 512.0)]
+        )
+        results = compute_cycles_numpy_batched(
+            compiled_arrays(streams), sweep
+        )
+        assert len(results) == 3
+        assert results[0] == results[1] == results[2]
+
+    def test_sim_engine_pin_respected_per_config(self, monkeypatch):
+        """A config pinning sim_engine=reference inside a batch takes
+        the serial path but still matches the numpy rows bit-for-bit."""
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        streams, config = _compiled("MatMult")
+        configs = [
+            config.with_sim_engine("numpy"),
+            config.with_sim_engine("reference"),
+            config.with_sim_engine("vectorized"),
+        ]
+        snaps = [_snap(s) for s in simulate_batch(streams, configs)]
+        assert snaps[0] == snaps[1] == snaps[2]
+
+
+class TestVariants:
+    def test_cartesian_product_last_axis_fastest(self):
+        config = HaacConfig()
+        variants = config.variants(dram=[DDR4, HBM2], role=list(Role))
+        assert len(variants) == 4
+        assert [(v.dram.name, v.role) for v in variants] == [
+            (DDR4.name, Role.GARBLER),
+            (DDR4.name, Role.EVALUATOR),
+            (HBM2.name, Role.GARBLER),
+            (HBM2.name, Role.EVALUATOR),
+        ]
+
+    def test_scalar_values_mix_with_swept_axes(self):
+        config = HaacConfig()
+        variants = config.variants(n_ges=[4, 8], sim_engine="reference")
+        assert [(v.n_ges, v.sim_engine) for v in variants] == [
+            (4, "reference"), (8, "reference"),
+        ]
+
+    def test_no_sweeps_is_identity(self):
+        config = HaacConfig()
+        assert config.variants() == [config]

@@ -52,6 +52,34 @@ def test_compile_execute_decode_matches_plaintext(
     assert run.dram_wire_writes == result.program.n_live
 
 
+def test_readerless_wire_waw_slot_hazard_regression():
+    """Regression (found by the property test above): a wire with no
+    in-window readers -- e.g. a live write-back consumed only through
+    the OoRW queue -- gave the window-sync rule nothing to order the
+    slot's evicting write against, so a lagging producer on another GE
+    could stomp the slot *after* the eviction wrote it (WAW hazard).
+    The schedule now records every write as its slot's first access.
+    This example (seed=2, 91 gates, 4 GEs, 16-wire SWW, SEG_RN) tripped
+    the functional machine's tagless-read assertion before the fix.
+    """
+    rng = random.Random(2)
+    circuit = random_circuit(
+        rng, n_inputs=8, n_gates=91, and_fraction=0.4, inv_fraction=0.15
+    )
+    config = HaacConfig(n_ges=4, sww_bytes=16 * 16)
+    result = compile_circuit(
+        circuit, config.window, config.n_ges, opt=OptLevel.SEG_RN,
+        params=config.schedule_params(),
+    )
+    garbler_bits = [rng.randint(0, 1) for _ in range(circuit.n_garbler_inputs)]
+    evaluator_bits = [
+        rng.randint(0, 1) for _ in range(circuit.n_evaluator_inputs)
+    ]
+    g2, e2 = result.lowered.adapt_inputs(garbler_bits, evaluator_bits)
+    run = run_functional(result.streams, g2, e2, seed=2)
+    assert run.output_bits == circuit.eval_plain(garbler_bits, evaluator_bits)
+
+
 @settings(max_examples=8, deadline=None)
 @given(
     seed=st.integers(0, 10_000),

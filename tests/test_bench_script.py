@@ -112,6 +112,13 @@ def test_bench_sim_quick_merges_into_report(tmp_path):
     )
     assert engines["speedup_numpy_vs_vectorized"] > 0
     assert "aes128" not in engines  # full-scale comparison skipped on --quick
+    # Batched-grid comparison: one scenario grid retired through the
+    # batched config axis, with the serial per-point loop as context.
+    grid = sim["batched_grid"]
+    assert grid["scenarios"] == 1 + grid["queue_points"] + grid["bandwidth_points"]
+    assert grid["seconds"] > 0 and grid["serial_seconds"] > 0
+    assert grid["scenarios_per_s"] > 0
+    assert grid["speedup_batched_vs_serial"] > 0
 
 
 def test_bench_scenarios_quick_emits_grid(tmp_path):
@@ -126,7 +133,7 @@ def test_bench_scenarios_quick_emits_grid(tmp_path):
     )
     assert proc.returncode == 0, proc.stderr
     data = json.loads(out.read_text())
-    assert data["schema"] == "repro.bench_scenarios/v1"
+    assert data["schema"] == "repro.bench_scenarios/v2"
     assert len(data["workloads"]) >= 3
     for section in data["workloads"].values():
         assert section["instructions"] > 0
@@ -143,6 +150,83 @@ def test_bench_scenarios_quick_emits_grid(tmp_path):
         runtimes = [p["runtime_cycles"] for p in section["bandwidth_sweep"]]
         assert runtimes == sorted(runtimes, reverse=True)
         assert section["bandwidth_sweep"][0]["memory_bound"] in (True, False)
+        # Persisted per-workload summary: every scenario counted (the
+        # decoupled baseline included), knee/flip carried in-artifact.
+        summary = section["summary"]
+        assert summary["scenarios"] == 1 + 3 + 3
+        # Generous SRAM converged above, so the knee is always reached.
+        assert summary["queue_knee_bytes_per_ge"] in (64, 4096, 1048576)
+        # Batched vs serial context rides along by default, and the
+        # script itself asserts per-point bit-identity between them.
+        assert section["sweep_seconds"] > 0
+        assert section["serial_sweep_seconds"] > 0
+        assert section["batched_speedup"] > 0
+    assert "scenarios in" in proc.stdout
+    # The artifact round-trips through the analysis renderer.
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        from repro.analysis import scenarios as sc
+    finally:
+        sys.path.pop(0)
+    text = sc.render_report(sc.load_report(out))
+    for name in data["workloads"]:
+        assert f"{name}: coupled slowdown" in text
+
+
+def test_bench_scenarios_unreached_sweeps_are_explicit(tmp_path):
+    """A grid too small to reach the knee/flip must say so, in the
+    artifact (nulls in summary) and on stdout -- not print 'at NoneB'."""
+    out = tmp_path / "BENCH_scenarios.json"
+    proc = subprocess.run(
+        [sys.executable, str(SCENARIOS_SCRIPT), "--quick",
+         "--workloads", "ReLU", "--queues", "64", "--bandwidths", "8.8",
+         "--json", str(out)],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.count("not reached in sweep") == 2
+    assert "None" not in proc.stdout
+    summary = json.loads(out.read_text())["workloads"]["ReLU"]["summary"]
+    assert summary["queue_knee_bytes_per_ge"] is None
+    assert summary["compute_bound_from_gb_s"] is None
+    assert summary["scenarios"] == 3  # baseline + one queue + one bandwidth
+
+
+def test_bench_scenarios_summary_lines_tolerate_empty_sweeps():
+    """An empty --queues/--bandwidths sweep must not crash the summary
+    text (max() over an empty list)."""
+    sys.path.insert(0, str(ROOT / "scripts"))
+    try:
+        from bench_scenarios import summary_lines
+    finally:
+        sys.path.pop(0)
+    section = {"summary": {
+        "scenarios": 1,
+        "queue_knee_bytes_per_ge": None,
+        "compute_bound_from_gb_s": None,
+    }}
+    knee_text, flip_text = summary_lines(section, [], [])
+    assert "no queue points" in knee_text
+    assert "no bandwidth points" in flip_text
+
+
+def test_bench_scenarios_no_serial_flag(tmp_path):
+    out = tmp_path / "BENCH_scenarios.json"
+    proc = subprocess.run(
+        [sys.executable, str(SCENARIOS_SCRIPT), "--quick", "--no-serial",
+         "--workloads", "ReLU", "--json", str(out)],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    section = json.loads(out.read_text())["workloads"]["ReLU"]
+    assert "serial_sweep_seconds" not in section
+    assert "batched_speedup" not in section
 
 
 def test_bench_scenarios_rejects_unknown_workload(tmp_path):
@@ -173,6 +257,7 @@ def _report(scale=1.0, drop=()):
                 "decoupled": {"cycles_per_s": 400_000.0 * scale},
                 "multicore": {"cycles_per_s": 15_000.0 * scale},
             },
+            "batched_grid": {"scenarios_per_s": 20_000.0 * scale},
         },
     }
     for name in drop:
@@ -207,6 +292,7 @@ def test_check_regression_fails_beyond_threshold(tmp_path):
     assert "REGRESSION" in proc.stdout
     assert "backends.scalar.garble.gates_per_s" in proc.stdout
     assert "sim.models.multicore.cycles_per_s" in proc.stdout
+    assert "sim.batched_grid.scenarios_per_s" in proc.stdout
 
 
 def test_check_regression_fails_on_missing_metric(tmp_path):
@@ -302,4 +388,5 @@ def test_committed_baseline_is_valid():
         sys.path.pop(0)
     metrics = tracked_metrics(baseline)
     assert len(metrics) >= 6
+    assert "sim.batched_grid.scenarios_per_s" in metrics
     assert all(value > 0 for value in metrics.values())
