@@ -1,0 +1,73 @@
+"""Root conftest: pytest-timeout fallback shim.
+
+The chaos suite (tests/faults, ``-m chaos``) must never hang -- its
+whole point is asserting that fault-injected sessions terminate.  CI
+installs the real pytest-timeout plugin; bare containers running the
+tier-1 verify (``python -m pytest -x -q``) may not have it.  When the
+plugin is absent this shim honours the same ``timeout`` ini option and
+``@pytest.mark.timeout(N)`` marker with a SIGALRM implementation
+(POSIX main-thread only, which is exactly where the suite runs).
+
+Registration is gated on the plugin's absence so the two never fight
+over the ``timeout`` ini option, and the timeout raises a
+``BaseException`` subclass so retry loops in library code that catch
+``Exception`` cannot swallow a test timeout.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import signal
+
+import pytest
+
+_HAVE_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
+_HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+class ShimTimeout(BaseException):
+    """A test exceeded its wall-clock budget (conftest SIGALRM shim)."""
+
+
+if not _HAVE_PLUGIN:
+
+    def pytest_addoption(parser):
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (pytest-timeout fallback shim)",
+            default="0",
+        )
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+if not _HAVE_PLUGIN and _HAVE_SIGALRM:
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        seconds = _timeout_for(item)
+        if seconds <= 0:
+            yield
+            return
+
+        def _alarm(signum, frame):
+            raise ShimTimeout(
+                f"{item.nodeid} exceeded {seconds:g}s timeout "
+                "(pytest-timeout shim)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

@@ -20,6 +20,10 @@ Tracked metrics:
 * ``sim.batched_grid.scenarios_per_s`` -- scenario-grid retire rate
   through the batched config axis (the ``bench_scenarios.py`` fast
   path);
+* ``protocol.streaming.{monolithic,streamed}.and_gates_per_s`` and
+  ``protocol.streaming.first_level_speedup`` -- level-streamed vs
+  monolithic two-party session latency (``bench_protocol.py``; AES-128
+  at full scale, the mixed smoke circuit in the quick lane);
 * ``parallel.workers.<N>.{garble,evaluate}.gates_per_s`` -- the
   worker-scaling curve, **only when the recorded ``cpu_count`` matches
   between baseline and current run**.  The curve's shape depends on the
@@ -92,6 +96,19 @@ def tracked_metrics(report: dict) -> dict:
     value = grid.get("scenarios_per_s")
     if value is not None:
         metrics["sim.batched_grid.scenarios_per_s"] = value
+    # Level-streamed session (bench_protocol.py): end-to-end AND-gate
+    # throughput in both drive modes, plus the pipelining headline --
+    # how much sooner the streamed Evaluator finishes its first AND
+    # level than the monolithic exchange completes.  The speedup is a
+    # same-run ratio, so it is host-robust like the engine speedups.
+    streaming = report.get("protocol", {}).get("streaming", {})
+    for mode in ("monolithic", "streamed"):
+        value = streaming.get(mode, {}).get("and_gates_per_s")
+        if value is not None:
+            metrics[f"protocol.streaming.{mode}.and_gates_per_s"] = value
+    value = streaming.get("first_level_speedup")
+    if value is not None:
+        metrics["protocol.streaming.first_level_speedup"] = value
     return metrics
 
 

@@ -144,6 +144,21 @@ def build_parser() -> argparse.ArgumentParser:
         "'parallel' backend; default worker count: $REPRO_GC_WORKERS "
         "or all cores)",
     )
+    p_p.add_argument(
+        "--stream",
+        action="store_true",
+        help="level-streamed session over the framed transport "
+        "(tables ship per AND level; transcript-digest verified)",
+    )
+    p_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic chaos run, e.g. 'drop:0.05,seed=7' "
+        "(kinds: drop corrupt truncate tamper duplicate delay reorder "
+        "kill_worker tear_cache; implies --stream; default: "
+        "$REPRO_FAULTS)",
+    )
 
     p_sc = sub.add_parser(
         "scenarios",
@@ -279,6 +294,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_protocol(args: argparse.Namespace) -> int:
     from .circuits.builder import CircuitBuilder
     from .circuits.stdlib.integer import encode_int, less_than
+    from .faults import ProtocolFault
     from .gc.protocol import run_two_party
 
     builder = CircuitBuilder()
@@ -298,17 +314,41 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
             return 2
         # The explicit flag wins over a count pinned in the spec.
         backend = f"parallel:{workers}"
-    result = run_two_party(
-        circuit,
-        encode_int(args.alice, args.width),
-        encode_int(args.bob, args.width),
-        seed=2023,
-        backend=backend,
-    )
+    faults_spec = getattr(args, "faults", None)
+    streamed = bool(getattr(args, "stream", False) or faults_spec)
+    try:
+        result = run_two_party(
+            circuit,
+            encode_int(args.alice, args.width),
+            encode_int(args.bob, args.width),
+            seed=2023,
+            backend=backend,
+            faults=faults_spec,
+            streamed=streamed,
+        )
+    except ProtocolFault as exc:
+        print(f"session failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
     richer = "Alice" if result.output_bits[0] else "Bob (or tie)"
     print(f"richer: {richer}")
     print(f"gates: {len(circuit.gates)} ({result.and_gates} garbled tables)")
     print(f"bytes exchanged: {result.total_bytes}")
+    if result.streamed:
+        print(
+            f"streamed: {result.streamed_levels} AND levels, "
+            f"first level after {result.first_level_s * 1e3:.1f} ms"
+            if result.first_level_s is not None
+            else f"streamed: {result.streamed_levels} AND levels"
+        )
+        print(f"transcript sha256: {result.transcript_digest}")
+    if result.fault_events:
+        print(f"faults injected: {len(result.fault_events)}")
+    if result.recovery_events:
+        print(f"recoveries: {len(result.recovery_events)}")
+        for event in result.recovery_events[:8]:
+            print(f"  [{event.layer}] {event.kind}: {event.detail}")
+        if len(result.recovery_events) > 8:
+            print(f"  ... and {len(result.recovery_events) - 8} more")
     return 0
 
 

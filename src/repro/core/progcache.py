@@ -31,8 +31,12 @@ Store location, in priority order:
    home directory unless asked).
 
 The default location is ``~/.cache/repro/progcache``.  Corrupted or
-truncated entries are never fatal: the loader drops the file, counts a
-``corrupt`` and falls back to recompilation.  Per-store hit/miss/put
+truncated entries are never fatal: the loader raises the typed
+:class:`repro.faults.CacheEntryTorn` internally, :meth:`get` drops the
+file, counts a ``corrupt``, records the recovery in the active
+:class:`repro.faults.RecoveryLog` and falls back to recompilation.  The
+:mod:`repro.faults` injection hooks can tear an entry on demand
+(``tear_cache``) to exercise exactly this path.  Per-store hit/miss/put
 counters (:class:`CacheStats`) let tests assert warm-run behaviour.
 
 Because the schema lives in the *key*, entries written under an older
@@ -55,7 +59,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
+from .. import faults as faults_mod
 from ..circuits.netlist import Circuit, GateOp
+from ..faults import CacheEntryTorn
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (compiler imports us)
     from .compiler import CompileResult, OptLevel
@@ -297,30 +303,39 @@ class ProgramCache:
         """Read, unpickle and validate one entry file.
 
         Raises :class:`_StaleSchemaError` for a well-formed entry
-        written under another ``CACHE_SCHEMA``, and any other exception
-        (missing file, truncated pickle, key/filename mismatch) for
-        corruption -- the single definition of "valid entry" shared by
-        :meth:`get` and the :meth:`scan`/:meth:`prune` census.
+        written under another ``CACHE_SCHEMA``, ``FileNotFoundError``
+        for a plain miss, and the typed
+        :class:`repro.faults.CacheEntryTorn` for everything else
+        (truncated pickle, damaged content, key/filename mismatch) --
+        the single definition of "valid entry" shared by :meth:`get`
+        and the :meth:`scan`/:meth:`prune` census.
         """
         with open(path, "rb") as handle:
             data = handle.read()
-        # Compiled programs unpickle to tens of thousands of small
-        # objects; keeping the cyclic collector out of the loop is
-        # a large constant-factor win on warm loads.
-        gc_was_enabled = gc.isenabled()
-        gc.disable()
         try:
-            payload = pickle.loads(data)
-        finally:
-            if gc_was_enabled:
-                gc.enable()
-        schema = payload["schema"]
-        stored_key = payload["key"]
-        result = payload["result"]
-        if schema != CACHE_SCHEMA:
-            raise _StaleSchemaError(path.name)
-        if stored_key != path.stem:
-            raise ValueError("key mismatch")
+            # Compiled programs unpickle to tens of thousands of small
+            # objects; keeping the cyclic collector out of the loop is
+            # a large constant-factor win on warm loads.
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                payload = pickle.loads(data)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            schema = payload["schema"]
+            stored_key = payload["key"]
+            result = payload["result"]
+            if schema != CACHE_SCHEMA:
+                raise _StaleSchemaError(path.name)
+            if stored_key != path.stem:
+                raise ValueError("key mismatch")
+        except _StaleSchemaError:
+            raise
+        except Exception as exc:
+            raise CacheEntryTorn(
+                f"cache entry {path.name}: {type(exc).__name__}: {exc}"
+            ) from exc
         return result
 
     def get(self, key: str) -> Optional["CompileResult"]:
@@ -336,12 +351,13 @@ class ProgramCache:
                 self.stats.hits += 1
                 return resident
         path = self.path_for(key)
+        self._maybe_tear(path, key)
         try:
             result = self._load_payload(path)
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except Exception:
+        except Exception as exc:
             # _StaleSchemaError lands here too: a current-schema *key*
             # whose payload claims another schema is tampered content.
             self.stats.misses += 1
@@ -350,11 +366,32 @@ class ProgramCache:
                 path.unlink()
             except OSError:
                 pass
+            faults_mod.record_recovery(
+                "cache",
+                "entry_recovered",
+                f"{type(exc).__name__}: dropped {path.name}; recompiling",
+            )
             return None
         self.stats.hits += 1
         if self._memory is not None:
             self._memory[key] = result
         return result
+
+    @staticmethod
+    def _maybe_tear(path: Path, key: str) -> None:
+        """Chaos hook: truncate the entry file when the active fault
+        plan draws ``tear_cache``, exercising the corrupt-entry recovery
+        path (the torn entry then loads as :class:`CacheEntryTorn`,
+        gets dropped, and the caller recompiles)."""
+        plan = faults_mod.active_plan()
+        if plan is None or not plan.tear_cache(f"cache:{key[:12]}"):
+            return
+        try:
+            data = path.read_bytes()
+            if data:
+                path.write_bytes(data[: max(1, len(data) // 2)])
+        except OSError:
+            pass
 
     def put(self, key: str, result: "CompileResult") -> None:
         """Atomically persist ``result`` (best-effort: IO errors are

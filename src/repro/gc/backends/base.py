@@ -167,8 +167,12 @@ def resolve_backend(
 
     ``"auto"`` (and an unset choice with no environment override) picks
     the vectorized backend when its dependencies are present and falls
-    back to the scalar reference otherwise -- the fallback is silent by
-    design so machines without NumPy still run every code path.
+    back to the scalar reference otherwise.  Machines without NumPy
+    still run every code path, but the degradation is observable: the
+    fallback warns once per process, stamps the returned instance with
+    ``auto_fallback_reason``, and records the reason in the active
+    :class:`repro.faults.RecoveryLog` (surfacing it on
+    ``SessionResult.recovery_events``).
     """
     if isinstance(choice, LabelHashBackend):
         return choice
@@ -179,10 +183,37 @@ def resolve_backend(
         env = os.environ.get(BACKEND_ENV_VAR)
         if env and env != AUTO:
             return get_backend(env)
+        fallback_reason = None
         for candidate in ("numpy", "scalar"):
             try:
-                return get_backend(candidate)
-            except BackendUnavailable:
+                backend = get_backend(candidate)
+            except BackendUnavailable as exc:
+                if fallback_reason is None:
+                    fallback_reason = f"{candidate} backend unavailable: {exc}"
                 continue
+            if fallback_reason is not None:
+                _note_auto_fallback(backend, fallback_reason)
+            return backend
         raise BackendUnavailable("no gc backend available (registry empty?)")
     return get_backend(name)
+
+
+_AUTO_FALLBACK_WARNED = False
+
+
+def _note_auto_fallback(backend: LabelHashBackend, reason: str) -> None:
+    """Make the auto-resolution fallback to a slower tier observable."""
+    global _AUTO_FALLBACK_WARNED
+    backend.auto_fallback_reason = reason
+    if not _AUTO_FALLBACK_WARNED:
+        _AUTO_FALLBACK_WARNED = True
+        import warnings
+
+        warnings.warn(
+            f"gc backend auto-selection degraded to {backend.name!r}: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    from ...faults import record_recovery
+
+    record_recovery("backend", "scalar_fallback", reason)

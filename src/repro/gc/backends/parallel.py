@@ -39,10 +39,15 @@ Design invariants (see DESIGN.md section 7):
   handle to the pool state that wrote it; on any mismatch (pool died,
   another program expanded since) the call silently degrades to the
   parent-side copy of the expansion.
-* **Silent serial fallback.**  If the pool cannot start (or dies), the
-  backend permanently falls back to its in-process inner backend and
-  records the reason in :attr:`pool_disabled_reason`.  Small batches
-  (below :attr:`min_batch` labels) never pay the dispatch overhead.
+* **Per-shard retry, then serial fallback.**  A failed shard is
+  re-dispatched once (task errors retry just the failed shards; a
+  broken/timed-out pool is rebuilt with fresh transport blocks and the
+  whole batch re-dispatched) before the backend permanently falls back
+  to its in-process inner backend.  The fallback is observable: a
+  ``RuntimeWarning`` fires once, the reason lands in
+  :attr:`pool_disabled_reason` and -- via :mod:`repro.faults` -- in
+  ``SessionResult.recovery_events``.  Small batches (below
+  :attr:`min_batch` labels) never pay the dispatch overhead.
 
 Select with ``backend="parallel"`` (worker count from the
 ``REPRO_GC_WORKERS`` environment variable, default ``os.cpu_count()``)
@@ -57,11 +62,17 @@ import atexit
 import itertools
 import multiprocessing
 import os
+import signal
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ...faults import active_plan as _active_plan
+from ...faults import record_recovery as _record_recovery
 from .base import BackendUnavailable, LabelHashBackend, get_backend
 
 __all__ = [
@@ -487,28 +498,96 @@ class ParallelLabelHashBackend(LabelHashBackend):
         ``resident_out`` the workers write into the pool's persistent
         schedule block (which later ``sched_rows`` tasks read in place)
         instead of the reusable transport block.
+
+        A failed shard is re-dispatched once before this raises (and the
+        caller's serial fallback kicks in): task-level errors retry just
+        the failed shards on the live pool; a broken or timed-out pool
+        is rebuilt (fresh workers *and* fresh transport blocks, so a
+        zombie shard can never scribble into the retry's buffers) and
+        the whole batch re-dispatched.  Either recovery is recorded in
+        the active :class:`repro.faults.RecoveryLog`.
         """
+
+        def stage(handle: _PoolHandle):
+            if resident_out:
+                in_shm, _ = handle.buffers(in_nbytes, 1)
+                out_shm = handle.schedule_block(out_nbytes)
+            else:
+                in_shm, out_shm = handle.buffers(in_nbytes, out_nbytes)
+            fill(in_shm.buf)
+            tasks = [
+                (kind, in_shm.name, out_shm.name, start, stop, n, rekeyed, extra)
+                for start, stop in shard_bounds(n, self.workers)
+            ]
+            return out_shm, tasks
+
         handle = _get_pool(self.workers, self.inner_name, self.start_method)
-        if resident_out:
-            in_shm, _ = handle.buffers(in_nbytes, 1)
-            out_shm = handle.schedule_block(out_nbytes)
-        else:
-            in_shm, out_shm = handle.buffers(in_nbytes, out_nbytes)
-        fill(in_shm.buf)
-        tasks = [
-            (kind, in_shm.name, out_shm.name, start, stop, n, rekeyed, extra)
-            for start, stop in shard_bounds(n, self.workers)
-        ]
+        out_shm, tasks = stage(handle)
         futures = [handle.pool.submit(_run_shard, task) for task in tasks]
-        for future in futures:
-            future.result(timeout=self.timeout)
+        self._maybe_kill_worker(handle)
+        failed: List[Tuple[int, BaseException]] = []
+        broken = False
+        for index, future in enumerate(futures):
+            try:
+                future.result(timeout=self.timeout)
+            except Exception as exc:
+                failed.append((index, exc))
+                if isinstance(exc, (BrokenProcessPool, TimeoutError, _FuturesTimeout)):
+                    broken = True
+        if failed:
+            first = failed[0][1]
+            if broken:
+                _record_recovery(
+                    "pool",
+                    "pool_rebuild",
+                    f"{kind}: {type(first).__name__}; rebuilding pool and "
+                    f"re-dispatching all {len(tasks)} shard(s)",
+                )
+                _drop_pool(self.workers, self.inner_name, self.start_method)
+                handle = _get_pool(self.workers, self.inner_name, self.start_method)
+                out_shm, tasks = stage(handle)
+                retry = [handle.pool.submit(_run_shard, task) for task in tasks]
+            else:
+                _record_recovery(
+                    "pool",
+                    "shard_retry",
+                    f"{kind}: re-dispatching {len(failed)} failed shard(s) "
+                    f"({type(first).__name__})",
+                )
+                retry = [
+                    handle.pool.submit(_run_shard, tasks[index])
+                    for index, _ in failed
+                ]
+            for future in retry:
+                future.result(timeout=self.timeout)
         self.pool_batches += 1
         return out_shm
 
+    def _maybe_kill_worker(self, handle: _PoolHandle) -> None:
+        """Chaos hook: SIGKILL one pool worker when the active fault
+        plan draws ``kill_worker`` (the dispatch in flight then takes
+        the pool-rebuild retry path above)."""
+        plan = _active_plan()
+        if plan is None or not plan.kill_worker():
+            return
+        processes = getattr(handle.pool, "_processes", None) or {}
+        for pid in sorted(processes):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:  # pragma: no cover - already gone
+                continue
+            return
+
     def _disable(self, exc: BaseException) -> None:
         """Record the failure and fall back to the inner backend for the
-        rest of this backend's lifetime (silent by design -- machines
-        where process pools cannot start must still run every path).
+        rest of this backend's lifetime (machines where process pools
+        cannot start must still run every path).
+
+        The degradation is observable: a ``RuntimeWarning`` fires once
+        per backend instance, the reason lands in the active
+        :class:`repro.faults.RecoveryLog` (and from there in
+        ``SessionResult.recovery_events``), and callers can inspect
+        :attr:`pool_disabled_reason` directly.
 
         The shared pool handle is retired too: after a timeout a shard
         may still be running, and other backend instances with the same
@@ -517,6 +596,13 @@ class ParallelLabelHashBackend(LabelHashBackend):
         """
         if self.pool_disabled_reason is None:
             self.pool_disabled_reason = f"{type(exc).__name__}: {exc}"
+            warnings.warn(
+                f"parallel gc pool disabled ({self.pool_disabled_reason}); "
+                f"falling back to in-process {self.inner_name!r} backend",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            _record_recovery("pool", "pool_disabled", self.pool_disabled_reason)
         _drop_pool(self.workers, self.inner_name, self.start_method)
 
     # ------------------------------------------------------------------

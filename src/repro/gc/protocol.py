@@ -13,45 +13,301 @@ channel:
 4. *Output*: Bob decodes with the decode bits (both-learn variant) and
    shares the result with Alice.
 
+Two drive modes share the handshake:
+
+* :meth:`TwoPartySession.run` -- the original monolithic exchange over
+  the perfect in-memory :class:`~repro.gc.channel.ChannelPair`;
+* :meth:`TwoPartySession.run_streamed` -- level-streamed delivery over
+  the framed lossy transport: garbling and evaluation interleave along
+  :meth:`Circuit.and_level_schedule`, each AND level's table block ships
+  as soon as it is computed (the ROADMAP's pipelining framing -- the
+  Evaluator starts after the first level instead of after the whole
+  circuit), every message rides sequence-numbered CRC-checked frames
+  with bounded retransmit, and both sides close with a transcript-digest
+  exchange.  Faults injected by a :class:`repro.faults.FaultPlan` either
+  leave the result bit-identical to the fault-free run or raise a typed
+  :class:`repro.faults.ProtocolFault`; the survived degradations are on
+  ``SessionResult.recovery_events``.
+
 This path is exercised by the quickstart example and the protocol tests;
 the HAAC accelerator replaces step 3's software evaluation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..circuits.netlist import Circuit
-from .channel import ChannelPair, make_channel_pair
+from .. import faults as faults_mod
+from ..circuits.netlist import Circuit, GateOp
+from ..faults import (
+    FaultEvent,
+    FaultPlan,
+    ProtocolFault,
+    RecoveryEvent,
+    RecoveryLog,
+    SessionAborted,
+    TranscriptMismatch,
+    resolve_fault_plan,
+)
+from .channel import (
+    DIGEST_KIND,
+    ChannelPair,
+    FramedPair,
+    make_channel_pair,
+    make_framed_pair,
+)
 from .evaluate import evaluate_circuit, evaluate_circuit_batched
 from .garble import garble_circuit, garble_circuit_batched
-from .ot import OtReceiver, OtSender
+from .halfgate import GarbledTable, eval_and, garble_and
+from .hashing import GateHasher
+from .labels import lsb
+from .ot import GROUP_P, OtReceiver, OtSender
 from .rng import LabelPrg
 
 __all__ = ["SessionResult", "TwoPartySession", "run_two_party"]
 
 _LABEL_BYTES = 16
 _TABLE_BYTES = 32
-_GROUP_BYTES = 64  # one 512-bit group element
+_GROUP_BYTES = 64  # accounting charge per group element (legacy channel)
+# Actual wire width of a serialized group element on the framed path.
+_POINT_BYTES = (GROUP_P.bit_length() + 7) // 8
 _DECODE_BITS_PER_BYTE = 8
 
 
 @dataclass
 class SessionResult:
-    """Outcome of a two-party run."""
+    """Outcome of a two-party run.
+
+    The trailing fields are the reliability ledger added with the
+    streamed path: ``recovery_events`` lists every survived degradation
+    (transport retransmits, pool shard retries, cache recoveries,
+    backend fallbacks), ``fault_events`` what the active
+    :class:`~repro.faults.FaultPlan` injected, ``transcript_digest`` the
+    hex SHA-256 of the garbler->evaluator message transcript as verified
+    by both sides, and ``first_level_s`` the latency until the first AND
+    level's tables were delivered *and evaluated* (streamed runs only).
+    """
 
     output_bits: List[int]
     traffic: Dict[str, int]
     total_bytes: int
     and_gates: int
     hash_calls_evaluator: int
+    recovery_events: List[RecoveryEvent] = field(default_factory=list)
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    transcript_digest: Optional[str] = None
+    streamed: bool = False
+    streamed_levels: int = 0
+    first_level_s: Optional[float] = None
+
+
+# --------------------------------------------------------------------------
+# Wire serialization helpers (streamed path).  The framed transport
+# carries raw bytes, so every message is serialized explicitly; damaged
+# payload structure surfaces as SessionAborted, not a random exception.
+# --------------------------------------------------------------------------
+
+
+def _ints_to_bytes(values: Sequence[int], width: int) -> bytes:
+    return b"".join(value.to_bytes(width, "big") for value in values)
+
+
+def _bytes_to_ints(data: bytes, width: int, what: str) -> List[int]:
+    if len(data) % width:
+        raise SessionAborted(
+            f"{what}: payload length {len(data)} is not a multiple of {width}"
+        )
+    return [
+        int.from_bytes(data[i : i + width], "big")
+        for i in range(0, len(data), width)
+    ]
+
+
+def _pack_bits(bits: Sequence[int]) -> bytes:
+    out = bytearray((len(bits) + 7) // 8)
+    for index, bit in enumerate(bits):
+        if bit:
+            out[index // 8] |= 1 << (index % 8)
+    return bytes(out)
+
+
+def _unpack_bits(data: bytes, n_bits: int, what: str) -> List[int]:
+    if len(data) != (n_bits + 7) // 8:
+        raise SessionAborted(
+            f"{what}: expected {(n_bits + 7) // 8} packed bytes for "
+            f"{n_bits} bits, got {len(data)}"
+        )
+    return [(data[index // 8] >> (index % 8)) & 1 for index in range(n_bits)]
+
+
+# --------------------------------------------------------------------------
+# Streaming parties
+# --------------------------------------------------------------------------
+
+
+class _StreamingGarbler:
+    """Garbler state for level-streamed delivery.
+
+    Labels are drawn exactly as in :func:`repro.gc.garble.garble_circuit`
+    (same PRG order: R, then one label per input wire), so input labels,
+    tables and decode bits are bit-identical to the monolithic path --
+    only the table *stream order* follows the AND-level schedule instead
+    of netlist order.
+    """
+
+    def __init__(self, circuit: Circuit, seed: int, rekeyed: bool, backend) -> None:
+        prg = LabelPrg(seed)
+        self.circuit = circuit
+        self.r = prg.next_odd_block()
+        self.rekeyed = rekeyed
+        self.backend = backend
+        self.hasher = GateHasher(rekeyed=rekeyed)
+        self.zero: List[int] = [
+            prg.next_block() for _ in range(circuit.n_inputs)
+        ] + [0] * len(circuit.gates)
+        self.n_and_gates = sum(
+            1 for gate in circuit.gates if gate.op is GateOp.AND
+        )
+
+    def input_label(self, wire: int, bit: int) -> int:
+        if wire >= self.circuit.n_inputs:
+            raise ValueError(f"wire {wire} is not a primary input")
+        return self.zero[wire] ^ (self.r if bit else 0)
+
+    def garble_phase(
+        self, and_positions: List[int], free_groups: List[List[int]]
+    ) -> bytes:
+        """Garble one AND level; returns its serialized table block."""
+        gates = self.circuit.gates
+        zero = self.zero
+        r = self.r
+        parts: List[bytes] = []
+        if and_positions and self.backend is None:
+            for position in and_positions:
+                gate = gates[position]
+                out_zero, table = garble_and(
+                    zero[gate.a], zero[gate.b], r, position, self.hasher
+                )
+                zero[gate.out] = out_zero
+                parts.append(table.to_bytes())
+        elif and_positions:
+            labels: List[int] = []
+            tweaks: List[int] = []
+            for position in and_positions:
+                gate = gates[position]
+                wa0 = zero[gate.a]
+                wb0 = zero[gate.b]
+                j_g = 2 * position
+                labels.extend((wa0, wa0 ^ r, wb0, wb0 ^ r))
+                tweaks.extend((j_g, j_g, j_g + 1, j_g + 1))
+            hashes = self.backend.hash_labels(labels, tweaks, self.rekeyed)
+            self.hasher.record_batch(len(labels))
+            for index, position in enumerate(and_positions):
+                h_a0, h_a1, h_b0, h_b1 = hashes[4 * index : 4 * index + 4]
+                gate = gates[position]
+                wa0 = zero[gate.a]
+                wb0 = zero[gate.b]
+                t_g = h_a0 ^ h_a1 ^ (r if wb0 & 1 else 0)
+                w_g0 = h_a0 ^ (t_g if wa0 & 1 else 0)
+                t_e = h_b0 ^ h_b1 ^ wa0
+                w_e0 = h_b0 ^ ((t_e ^ wa0) if wb0 & 1 else 0)
+                zero[gate.out] = w_g0 ^ w_e0
+                parts.append(GarbledTable(t_g, t_e).to_bytes())
+        for group in free_groups:
+            for position in group:
+                gate = gates[position]
+                if gate.op is GateOp.XOR:
+                    zero[gate.out] = zero[gate.a] ^ zero[gate.b]
+                else:  # INV
+                    zero[gate.out] = zero[gate.a] ^ r
+        return b"".join(parts)
+
+    def decode_bits(self) -> List[int]:
+        return [lsb(self.zero[w]) for w in self.circuit.outputs]
+
+
+class _StreamingEvaluator:
+    """Evaluator state consuming one table block per AND level."""
+
+    def __init__(
+        self, circuit: Circuit, input_labels: Sequence[int], rekeyed: bool, backend
+    ) -> None:
+        if len(input_labels) != circuit.n_inputs:
+            raise SessionAborted(
+                f"expected {circuit.n_inputs} input labels, got {len(input_labels)}"
+            )
+        self.circuit = circuit
+        self.rekeyed = rekeyed
+        self.backend = backend
+        self.hasher = GateHasher(rekeyed=rekeyed)
+        self.labels: List[int] = list(input_labels) + [0] * len(circuit.gates)
+
+    def eval_phase(
+        self,
+        and_positions: List[int],
+        free_groups: List[List[int]],
+        block: bytes,
+    ) -> None:
+        gates = self.circuit.gates
+        labels = self.labels
+        if len(block) != _TABLE_BYTES * len(and_positions):
+            raise SessionAborted(
+                f"table block mismatch: {len(and_positions)} AND gates need "
+                f"{_TABLE_BYTES * len(and_positions)} bytes, got {len(block)}"
+            )
+        if and_positions:
+            tables = [
+                GarbledTable.from_bytes(
+                    block[_TABLE_BYTES * i : _TABLE_BYTES * (i + 1)]
+                )
+                for i in range(len(and_positions))
+            ]
+            if self.backend is None:
+                for table, position in zip(tables, and_positions):
+                    gate = gates[position]
+                    labels[gate.out] = eval_and(
+                        labels[gate.a], labels[gate.b], table, position, self.hasher
+                    )
+            else:
+                batch: List[int] = []
+                tweaks: List[int] = []
+                for position in and_positions:
+                    gate = gates[position]
+                    batch.extend((labels[gate.a], labels[gate.b]))
+                    tweaks.extend((2 * position, 2 * position + 1))
+                hashes = self.backend.hash_labels(batch, tweaks, self.rekeyed)
+                self.hasher.record_batch(len(batch))
+                for index, position in enumerate(and_positions):
+                    h_a, h_b = hashes[2 * index], hashes[2 * index + 1]
+                    gate = gates[position]
+                    wa = labels[gate.a]
+                    wb = labels[gate.b]
+                    table = tables[index]
+                    w_g = h_a ^ (table.generator_row if wa & 1 else 0)
+                    w_e = h_b ^ ((table.evaluator_row ^ wa) if wb & 1 else 0)
+                    labels[gate.out] = w_g ^ w_e
+        for group in free_groups:
+            for position in group:
+                gate = gates[position]
+                if gate.op is GateOp.XOR:
+                    labels[gate.out] = labels[gate.a] ^ labels[gate.b]
+                else:  # INV forwards the label unchanged
+                    labels[gate.out] = labels[gate.a]
+
+    def decode(self, decode_bits: Sequence[int]) -> List[int]:
+        output_labels = [self.labels[w] for w in self.circuit.outputs]
+        return [
+            lsb(label) ^ decode
+            for label, decode in zip(output_labels, decode_bits)
+        ]
 
 
 class TwoPartySession:
     """Drives Alice (Garbler) and Bob (Evaluator) over a channel pair.
 
-    The two parties only interact through :class:`ChannelPair`; neither
+    The two parties only interact through the channel pair; neither
     reads the other's state.  ``seed`` fixes all randomness (labels, OT
     ephemerals) for reproducibility.
     """
@@ -62,6 +318,10 @@ class TwoPartySession:
         seed: int = 0,
         rekeyed: bool = True,
         backend: Optional[Union[str, object]] = None,
+        faults: Optional[Union[str, FaultPlan]] = None,
+        config=None,
+        chunk_bytes: int = 4096,
+        max_retries: int = 8,
     ) -> None:
         """``backend`` selects the batched garbling/evaluation substrate.
 
@@ -69,13 +329,50 @@ class TwoPartySession:
         name/instance (or ``"auto"``) runs both parties through the
         level-batched engines of :mod:`repro.gc.backends` -- producing
         bitwise-identical traffic either way.
+
+        ``faults`` arms deterministic fault injection: a spec string
+        (``"drop:0.05,seed=7"``), a prebuilt
+        :class:`~repro.faults.FaultPlan`, or ``None`` to defer to
+        ``config.fault_spec`` and then the ``REPRO_FAULTS`` environment
+        variable.  ``config`` (a :class:`~repro.sim.config.HaacConfig`)
+        also supplies the backend spec when ``backend`` is ``None``.
+        Frame faults only bite on :meth:`run_streamed`; process faults
+        (``kill_worker`` / ``tear_cache``) apply to both drive modes.
         """
         circuit.validate()
         self.circuit = circuit
         self.seed = seed
         self.rekeyed = rekeyed
+        if config is not None:
+            if backend is None:
+                backend = config.gc_backend_spec()
+            if faults is None:
+                faults = getattr(config, "fault_spec", None)
         self.backend = backend
+        self.faults = faults
+        self.chunk_bytes = chunk_bytes
+        self.max_retries = max_retries
         self.channels: ChannelPair = make_channel_pair()
+        self.framed: Optional[FramedPair] = None
+
+    def _resolved_backend(self):
+        if self.backend is None:
+            return None
+        from .backends import resolve_backend
+
+        return resolve_backend(self.backend)
+
+    @staticmethod
+    def _surface_backend_events(resolved, log: RecoveryLog) -> None:
+        """Fold silent backend degradations into the recovery ledger."""
+        if resolved is None:
+            return
+        reason = getattr(resolved, "auto_fallback_reason", None)
+        if reason and not log.count("backend", "scalar_fallback"):
+            log.record("backend", "scalar_fallback", reason)
+        pool_reason = getattr(resolved, "pool_disabled_reason", None)
+        if pool_reason and not log.count("pool"):
+            log.record("pool", "pool_disabled", pool_reason)
 
     def run(
         self, garbler_bits: Sequence[int], evaluator_bits: Sequence[int]
@@ -88,100 +385,297 @@ class TwoPartySession:
         down = self.channels.to_evaluator
         up = self.channels.to_garbler
 
-        # -- Alice: offline garbling ------------------------------------
-        if self.backend is None:
-            garbler = garble_circuit(circuit, seed=self.seed, rekeyed=self.rekeyed)
-        else:
-            garbler = garble_circuit_batched(
-                circuit, seed=self.seed, rekeyed=self.rekeyed, backend=self.backend
-            )
-        garbled = garbler.garbled
+        log = RecoveryLog()
+        plan = resolve_fault_plan(self.faults)
+        if plan is not None:
+            plan.reset()
+        resolved = self._resolved_backend()
+        with faults_mod.install(plan, log):
+            # -- Alice: offline garbling --------------------------------
+            if resolved is None:
+                garbler = garble_circuit(
+                    circuit, seed=self.seed, rekeyed=self.rekeyed
+                )
+            else:
+                garbler = garble_circuit_batched(
+                    circuit,
+                    seed=self.seed,
+                    rekeyed=self.rekeyed,
+                    backend=resolved,
+                )
+            garbled = garbler.garbled
 
-        # -- OT round trip for Bob's labels (Bob consumes channel
-        #    messages in FIFO order, so the OT handshake goes first) ----
-        sender = OtSender(LabelPrg(self.seed + 0x0F))
-        down.send("ot_public", sender.public, _GROUP_BYTES)
-        receiver = OtReceiver(LabelPrg(self.seed + 0xB0B), down.recv("ot_public"))
-
-        # Batched fixed-base OT: one squaring pass for all of Bob's
-        # choice bits (transcript-identical to per-bit choose calls).
-        points_and_secrets = receiver.choose_batch(evaluator_bits)
-        up.send(
-            "ot_points",
-            [point for point, _ in points_and_secrets],
-            _GROUP_BYTES * len(points_and_secrets),
-        )
-        points = up.recv("ot_points")
-
-        # Batched fixed-base sender encryption: one variable-base
-        # exponentiation per bit, the (A^{-1})^a pad factor shared
-        # across the batch (transcript-identical to per-bit encrypt).
-        label_pairs = [
-            (garbler.input_label(wire, 0), garbler.input_label(wire, 1))
-            for wire in circuit.evaluator_input_wires
-        ]
-        cipher_pairs = sender.encrypt_batch(points, label_pairs)
-        down.send(
-            "ot_ciphers", cipher_pairs, 2 * _LABEL_BYTES * len(cipher_pairs)
-        )
-
-        # -- Alice: tables, decode map and her own input labels ---------
-        down.send("tables", garbled.tables, _TABLE_BYTES * len(garbled.tables))
-        down.send(
-            "decode",
-            garbled.decode_bits,
-            (len(garbled.decode_bits) + _DECODE_BITS_PER_BYTE - 1)
-            // _DECODE_BITS_PER_BYTE,
-        )
-        alice_labels = [
-            garbler.input_label(wire, bit)
-            for wire, bit in zip(circuit.garbler_input_wires, garbler_bits)
-        ]
-        down.send("garbler_labels", alice_labels, _LABEL_BYTES * len(alice_labels))
-
-        # -- Bob: receive everything and evaluate ------------------------
-        bob_ciphers = down.recv("ot_ciphers")
-        tables = down.recv("tables")
-        decode_bits = down.recv("decode")
-        bob_alice_labels = down.recv("garbler_labels")
-        bob_labels = receiver.decrypt_batch(
-            list(evaluator_bits),
-            [secret for _, secret in points_and_secrets],
-            bob_ciphers,
-        )
-        input_labels = list(bob_alice_labels) + bob_labels
-        garbled_for_bob = type(garbled)(
-            tables=tables,
-            decode_bits=decode_bits,
-            n_and_gates=len(tables),
-        )
-        if self.backend is None:
-            result = evaluate_circuit(
-                circuit, garbled_for_bob, input_labels, rekeyed=self.rekeyed
-            )
-        else:
-            result = evaluate_circuit_batched(
-                circuit,
-                garbled_for_bob,
-                input_labels,
-                rekeyed=self.rekeyed,
-                backend=self.backend,
+            # -- OT round trip for Bob's labels (Bob consumes channel
+            #    messages in FIFO order, so the OT handshake goes first)
+            sender = OtSender(LabelPrg(self.seed + 0x0F))
+            down.send("ot_public", sender.public, _GROUP_BYTES)
+            receiver = OtReceiver(
+                LabelPrg(self.seed + 0xB0B), down.recv("ot_public")
             )
 
-        # -- Output sharing ----------------------------------------------
-        up.send(
-            "outputs",
-            result.output_bits,
-            (len(result.output_bits) + _DECODE_BITS_PER_BYTE - 1)
-            // _DECODE_BITS_PER_BYTE,
-        )
+            # Batched fixed-base OT: one squaring pass for all of Bob's
+            # choice bits (transcript-identical to per-bit choose calls).
+            points_and_secrets = receiver.choose_batch(evaluator_bits)
+            up.send(
+                "ot_points",
+                [point for point, _ in points_and_secrets],
+                _GROUP_BYTES * len(points_and_secrets),
+            )
+            points = up.recv("ot_points")
 
+            # Batched fixed-base sender encryption: one variable-base
+            # exponentiation per bit, the (A^{-1})^a pad factor shared
+            # across the batch (transcript-identical to per-bit encrypt).
+            label_pairs = [
+                (garbler.input_label(wire, 0), garbler.input_label(wire, 1))
+                for wire in circuit.evaluator_input_wires
+            ]
+            cipher_pairs = sender.encrypt_batch(points, label_pairs)
+            down.send(
+                "ot_ciphers", cipher_pairs, 2 * _LABEL_BYTES * len(cipher_pairs)
+            )
+
+            # -- Alice: tables, decode map and her own input labels -----
+            down.send("tables", garbled.tables, _TABLE_BYTES * len(garbled.tables))
+            down.send(
+                "decode",
+                garbled.decode_bits,
+                (len(garbled.decode_bits) + _DECODE_BITS_PER_BYTE - 1)
+                // _DECODE_BITS_PER_BYTE,
+            )
+            alice_labels = [
+                garbler.input_label(wire, bit)
+                for wire, bit in zip(circuit.garbler_input_wires, garbler_bits)
+            ]
+            down.send(
+                "garbler_labels", alice_labels, _LABEL_BYTES * len(alice_labels)
+            )
+
+            # -- Bob: receive everything and evaluate --------------------
+            bob_ciphers = down.recv("ot_ciphers")
+            tables = down.recv("tables")
+            decode_bits = down.recv("decode")
+            bob_alice_labels = down.recv("garbler_labels")
+            bob_labels = receiver.decrypt_batch(
+                list(evaluator_bits),
+                [secret for _, secret in points_and_secrets],
+                bob_ciphers,
+            )
+            input_labels = list(bob_alice_labels) + bob_labels
+            garbled_for_bob = type(garbled)(
+                tables=tables,
+                decode_bits=decode_bits,
+                n_and_gates=len(tables),
+            )
+            if resolved is None:
+                result = evaluate_circuit(
+                    circuit, garbled_for_bob, input_labels, rekeyed=self.rekeyed
+                )
+            else:
+                result = evaluate_circuit_batched(
+                    circuit,
+                    garbled_for_bob,
+                    input_labels,
+                    rekeyed=self.rekeyed,
+                    backend=resolved,
+                )
+
+            # -- Output sharing ------------------------------------------
+            up.send(
+                "outputs",
+                result.output_bits,
+                (len(result.output_bits) + _DECODE_BITS_PER_BYTE - 1)
+                // _DECODE_BITS_PER_BYTE,
+            )
+
+        self._surface_backend_events(resolved, log)
         return SessionResult(
             output_bits=result.output_bits,
             traffic=self.channels.traffic_report(),
             total_bytes=self.channels.total_bytes,
             and_gates=garbled.n_and_gates,
             hash_calls_evaluator=result.hash_calls,
+            recovery_events=list(log.events),
+            fault_events=list(plan.injected) if plan is not None else [],
+        )
+
+    def run_streamed(
+        self, garbler_bits: Sequence[int], evaluator_bits: Sequence[int]
+    ) -> SessionResult:
+        """Level-streamed session over the framed lossy transport.
+
+        Same handshake and bit-identical outputs as :meth:`run`; tables
+        ship one AND level at a time so evaluation overlaps garbling.
+        Under an armed fault plan the session either completes with
+        output and transcript identical to the fault-free run or raises
+        a typed :class:`~repro.faults.ProtocolFault` -- it never hangs
+        (bounded retransmits) and never returns corrupt output (the
+        transcript-digest exchange runs *before* the result is built).
+        """
+        circuit = self.circuit
+        if len(garbler_bits) != circuit.n_garbler_inputs:
+            raise ValueError("wrong number of garbler input bits")
+        if len(evaluator_bits) != circuit.n_evaluator_inputs:
+            raise ValueError("wrong number of evaluator input bits")
+
+        log = RecoveryLog()
+        plan = resolve_fault_plan(self.faults)
+        if plan is not None:
+            plan.reset()
+        pair = make_framed_pair(
+            plan=plan,
+            log=log,
+            chunk_bytes=self.chunk_bytes,
+            max_retries=self.max_retries,
+        )
+        self.framed = pair
+        down = pair.to_evaluator
+        up = pair.to_garbler
+        resolved = self._resolved_backend()
+        try:
+            with faults_mod.install(plan, log):
+                outcome = self._drive_streamed(
+                    circuit, garbler_bits, evaluator_bits, down, up, resolved
+                )
+        except ProtocolFault:
+            raise
+        except Exception as exc:
+            # An injected fault that corrupted a payload can surface as
+            # an arbitrary error deep in OT/decode arithmetic; normalise
+            # to the typed hierarchy (original kept as __cause__).
+            raise SessionAborted(f"streamed session aborted: {exc}") from exc
+        output_bits, digest, streamed_levels, first_level_s, hash_calls = outcome
+        self._surface_backend_events(resolved, log)
+        return SessionResult(
+            output_bits=output_bits,
+            traffic=pair.traffic_report(),
+            total_bytes=pair.total_bytes,
+            and_gates=sum(
+                1 for gate in circuit.gates if gate.op is GateOp.AND
+            ),
+            hash_calls_evaluator=hash_calls,
+            recovery_events=list(log.events),
+            fault_events=list(plan.injected) if plan is not None else [],
+            transcript_digest=digest,
+            streamed=True,
+            streamed_levels=streamed_levels,
+            first_level_s=first_level_s,
+        )
+
+    def _drive_streamed(
+        self, circuit, garbler_bits, evaluator_bits, down, up, resolved
+    ):
+        t_start = time.perf_counter()
+
+        # -- Alice: draw labels (R + input labels, same PRG order as run)
+        alice = _StreamingGarbler(circuit, self.seed, self.rekeyed, resolved)
+
+        # -- OT handshake over the framed wire -------------------------
+        sender = OtSender(LabelPrg(self.seed + 0x0F))
+        down.send_message(
+            "ot_public", sender.public.to_bytes(_POINT_BYTES, "big")
+        )
+        receiver = OtReceiver(
+            LabelPrg(self.seed + 0xB0B),
+            int.from_bytes(down.recv_message("ot_public"), "big"),
+        )
+        points_and_secrets = receiver.choose_batch(list(evaluator_bits))
+        up.send_message(
+            "ot_points",
+            _ints_to_bytes([p for p, _ in points_and_secrets], _POINT_BYTES),
+        )
+        points = _bytes_to_ints(
+            up.recv_message("ot_points"), _POINT_BYTES, "ot_points"
+        )
+        label_pairs = [
+            (alice.input_label(wire, 0), alice.input_label(wire, 1))
+            for wire in circuit.evaluator_input_wires
+        ]
+        cipher_pairs = sender.encrypt_batch(points, label_pairs)
+        down.send_message(
+            "ot_ciphers",
+            _ints_to_bytes(
+                [c for pair_ in cipher_pairs for c in pair_], _LABEL_BYTES
+            ),
+        )
+        alice_labels = [
+            alice.input_label(wire, bit)
+            for wire, bit in zip(circuit.garbler_input_wires, garbler_bits)
+        ]
+        down.send_message(
+            "garbler_labels", _ints_to_bytes(alice_labels, _LABEL_BYTES)
+        )
+
+        # -- Bob: recover his labels, set up streaming evaluation ------
+        flat_ciphers = _bytes_to_ints(
+            down.recv_message("ot_ciphers"), _LABEL_BYTES, "ot_ciphers"
+        )
+        bob_cipher_pairs = list(zip(flat_ciphers[0::2], flat_ciphers[1::2]))
+        bob_alice_labels = _bytes_to_ints(
+            down.recv_message("garbler_labels"), _LABEL_BYTES, "garbler_labels"
+        )
+        if len(bob_alice_labels) != circuit.n_garbler_inputs:
+            raise SessionAborted(
+                f"garbler_labels: expected {circuit.n_garbler_inputs} labels, "
+                f"got {len(bob_alice_labels)}"
+            )
+        bob_labels = receiver.decrypt_batch(
+            list(evaluator_bits),
+            [secret for _, secret in points_and_secrets],
+            bob_cipher_pairs,
+        )
+        bob = _StreamingEvaluator(
+            circuit, bob_alice_labels + bob_labels, self.rekeyed, resolved
+        )
+
+        # -- Level-streamed table delivery -----------------------------
+        first_level_s: Optional[float] = None
+        streamed_levels = 0
+        for and_positions, free_groups in circuit.and_level_schedule():
+            block = alice.garble_phase(and_positions, free_groups)
+            if and_positions:
+                down.send_message("tables", block)
+                block = down.recv_message("tables")
+                streamed_levels += 1
+            bob.eval_phase(and_positions, free_groups, block)
+            if and_positions and first_level_s is None:
+                first_level_s = time.perf_counter() - t_start
+
+        # -- Decode + output sharing -----------------------------------
+        down.send_message("decode", _pack_bits(alice.decode_bits()))
+        decode_bits = _unpack_bits(
+            down.recv_message("decode"), len(circuit.outputs), "decode"
+        )
+        output_bits = bob.decode(decode_bits)
+        up.send_message("outputs", _pack_bits(output_bits))
+        _unpack_bits(up.recv_message("outputs"), len(circuit.outputs), "outputs")
+
+        # -- Transcript digest exchange (before any result is built):
+        #    each receiver checks the sender's claimed digest against
+        #    what it actually delivered, catching anything that slipped
+        #    past the per-frame CRC (e.g. tampered frames).
+        down.send_message(DIGEST_KIND, down.send_digest())
+        claimed = down.recv_message(DIGEST_KIND)
+        delivered = down.recv_digest()
+        if claimed != delivered:
+            raise TranscriptMismatch(
+                "garbler->evaluator transcript diverged: sender "
+                f"{claimed.hex()[:16]}..., receiver {delivered.hex()[:16]}..."
+            )
+        up.send_message(DIGEST_KIND, up.send_digest())
+        claimed_up = up.recv_message(DIGEST_KIND)
+        if claimed_up != up.recv_digest():
+            raise TranscriptMismatch(
+                "evaluator->garbler transcript diverged: sender "
+                f"{claimed_up.hex()[:16]}..., receiver "
+                f"{up.recv_digest().hex()[:16]}..."
+            )
+        return (
+            output_bits,
+            delivered.hex(),
+            streamed_levels,
+            first_level_s,
+            bob.hasher.calls,
         )
 
 
@@ -192,8 +686,19 @@ def run_two_party(
     seed: int = 0,
     rekeyed: bool = True,
     backend: Optional[Union[str, object]] = None,
+    faults: Optional[Union[str, FaultPlan]] = None,
+    config=None,
+    streamed: bool = False,
 ) -> SessionResult:
     """One-call convenience wrapper around :class:`TwoPartySession`."""
-    return TwoPartySession(circuit, seed=seed, rekeyed=rekeyed, backend=backend).run(
-        garbler_bits, evaluator_bits
+    session = TwoPartySession(
+        circuit,
+        seed=seed,
+        rekeyed=rekeyed,
+        backend=backend,
+        faults=faults,
+        config=config,
     )
+    if streamed:
+        return session.run_streamed(garbler_bits, evaluator_bits)
+    return session.run(garbler_bits, evaluator_bits)

@@ -71,6 +71,12 @@ class HaacConfig:
     # the default ~/.cache/repro/progcache store, False disables, a
     # string is a directory path (see repro.core.progcache).
     prog_cache: "str | bool | None" = None
+    # Deterministic fault-injection spec for chaos runs (see
+    # repro.faults.parse_fault_spec), e.g. "drop:0.05,seed=7": consumed
+    # by TwoPartySession (pass the config, or let resolve_fault_plan
+    # consult it); None defers to the REPRO_FAULTS environment variable
+    # and then to no injection.
+    fault_spec: "str | None" = None
     # Timing-replay engine for every model that consumes this config:
     # None defers to the REPRO_SIM_ENGINE environment variable;
     # "numpy" (level-parallel array replay, the default when NumPy is
@@ -150,6 +156,9 @@ class HaacConfig:
 
     def with_prog_cache(self, prog_cache: "str | bool | None") -> "HaacConfig":
         return self._replace(prog_cache=prog_cache)
+
+    def with_fault_spec(self, fault_spec: "str | None") -> "HaacConfig":
+        return self._replace(fault_spec=fault_spec)
 
     def with_sim_engine(self, sim_engine: "str | None") -> "HaacConfig":
         return self._replace(sim_engine=sim_engine)

@@ -24,6 +24,7 @@ from repro.gc.backends import (
     registered_backends,
     resolve_backend,
 )
+from repro.gc.backends import base as base_module
 from repro.gc.backends import numpy_backend as numpy_backend_module
 from repro.gc.evaluate import evaluate_circuit, evaluate_circuit_batched
 from repro.gc.garble import garble_circuit, garble_circuit_batched
@@ -261,10 +262,12 @@ class TestNumpyFallback:
     def test_numpy_unavailable_raises_and_auto_falls_back(self, monkeypatch):
         monkeypatch.setattr(numpy_backend_module, "_np", None)
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        monkeypatch.setattr(base_module, "_AUTO_FALLBACK_WARNED", False)
         with pytest.raises(BackendUnavailable, match="NumPy"):
             get_backend("numpy")
         assert "numpy" not in available_backends()
-        assert resolve_backend(None).name == "scalar"
+        with pytest.warns(RuntimeWarning, match="degraded to 'scalar'"):
+            assert resolve_backend(None).name == "scalar"
         assert resolve_backend("auto").name == "scalar"
         # The batched entry points still work (and still match the
         # reference) with auto resolution.

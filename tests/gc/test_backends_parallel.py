@@ -243,7 +243,8 @@ class TestResidentSchedules:
         )
         backend = _pooled_backend(workers=2)
         sched = backend.expand_keys_program(keys)
-        backend._disable(RuntimeError("simulated pool loss"))
+        with pytest.warns(RuntimeWarning, match="parallel gc pool disabled"):
+            backend._disable(RuntimeError("simulated pool loss"))
         got = backend.hash_schedule_rows(labels, sched, rows)
         assert numpy.array_equal(got, want)
 
@@ -274,7 +275,8 @@ class TestResidentSchedules:
 class TestSilentFallback:
     def test_pool_start_failure_falls_back(self, monkeypatch):
         """A machine where worker processes cannot start must still
-        produce correct hashes -- silently, recording the reason."""
+        produce correct hashes -- observably: one RuntimeWarning, the
+        reason recorded on the instance."""
 
         def boom(workers, inner_name, start_method):
             raise OSError("fork refused by sandbox")
@@ -283,7 +285,8 @@ class TestSilentFallback:
         labels, tweaks = _random_batch(n=700)
         want = [rekeyed_hash(label, tweak) for label, tweak in zip(labels, tweaks)]
         backend = _pooled_backend(workers=4)
-        assert backend.hash_labels(labels, tweaks, True) == want
+        with pytest.warns(RuntimeWarning, match="parallel gc pool disabled"):
+            assert backend.hash_labels(labels, tweaks, True) == want
         assert "fork refused" in backend.pool_disabled_reason
         assert backend.pool_batches == 0
         # Once disabled, later batches go straight to the inner backend.
@@ -306,7 +309,10 @@ class TestSilentFallback:
         keys = backend.tweaks_to_keys(tweaks)
         scheds = get_backend("numpy").expand_keys(keys)
         want = get_backend("numpy").hash_with_schedules(blocks, scheds)
-        got = backend.hash_with_schedules(blocks, backend.expand_keys(keys))
+        with pytest.warns(RuntimeWarning, match="parallel gc pool disabled"):
+            got = backend.hash_with_schedules(
+                blocks, backend.expand_keys(keys)
+            )
         assert numpy.array_equal(got, want)
         assert "worker lost" in backend.pool_disabled_reason
 
@@ -326,7 +332,8 @@ class TestSilentFallback:
         backend.hash_labels(labels, tweaks, True)
         key = (backend.workers, backend.inner_name, backend.start_method)
         assert key in parallel_module._POOLS
-        backend._disable(RuntimeError("simulated shard timeout"))
+        with pytest.warns(RuntimeWarning, match="parallel gc pool disabled"):
+            backend._disable(RuntimeError("simulated shard timeout"))
         assert key not in parallel_module._POOLS
         assert "simulated shard timeout" in backend.pool_disabled_reason
         # The instance stays correct on the serial path...

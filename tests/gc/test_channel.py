@@ -1,0 +1,69 @@
+"""Legacy in-memory Channel: non-destructive recv and typed errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ChannelProtocolError, ProtocolFault
+from repro.gc.channel import Channel, make_channel_pair
+
+
+class TestChannelRecv:
+    def test_fifo_round_trip(self):
+        ch = Channel("t")
+        ch.send("tables", [1, 2, 3], 96)
+        ch.send("decode", [0, 1], 1)
+        assert ch.recv("tables") == [1, 2, 3]
+        assert ch.recv("decode") == [0, 1]
+        assert ch.pending() == 0
+
+    def test_empty_queue_raises_typed_error(self):
+        ch = Channel("t")
+        with pytest.raises(ChannelProtocolError, match="empty queue"):
+            ch.recv("tables")
+
+    def test_mismatch_is_non_destructive(self):
+        """Regression: a kind mismatch used to consume the message, so
+        callers catching the error to resynchronise lost data."""
+        ch = Channel("t")
+        ch.send("tables", "payload", 32)
+        with pytest.raises(ChannelProtocolError, match="queue left intact"):
+            ch.recv("decode")
+        assert ch.pending() == 1
+        assert ch.recv("tables") == "payload"  # still deliverable
+
+    def test_mismatch_error_summarises_pending(self):
+        ch = Channel("t")
+        for index in range(6):
+            ch.send(f"kind{index}", index, 1)
+        with pytest.raises(
+            ChannelProtocolError,
+            match=r"expected nope, got kind0.*kind0, kind1, kind2, kind3, "
+            r"\.\.\. \(6 pending\)",
+        ):
+            ch.recv("nope")
+        assert ch.pending() == 6
+
+    def test_typed_error_is_still_a_runtime_error(self):
+        # Legacy callers catch RuntimeError; the typed hierarchy must
+        # remain a strict refinement, not a behaviour break.
+        assert issubclass(ChannelProtocolError, ProtocolFault)
+        assert issubclass(ProtocolFault, RuntimeError)
+        ch = Channel("t")
+        with pytest.raises(RuntimeError):
+            ch.recv("anything")
+
+    def test_negative_size_rejected(self):
+        ch = Channel("t")
+        with pytest.raises(ValueError):
+            ch.send("tables", None, -1)
+
+    def test_traffic_accounting_by_class(self):
+        pair = make_channel_pair()
+        pair.to_evaluator.send("tables", [], 64)
+        pair.to_evaluator.send("tables", [], 32)
+        pair.to_garbler.send("outputs", [], 1)
+        report = pair.traffic_report()
+        assert report["garbler->evaluator:tables"] == 96
+        assert report["evaluator->garbler:outputs"] == 1
+        assert pair.total_bytes == 97

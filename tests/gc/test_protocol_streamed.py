@@ -1,0 +1,182 @@
+"""Level-streamed session: equivalence, edge cases, degradation ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.netlist import Circuit, Gate, GateOp
+from repro.gc.backends import get_backend
+from repro.gc.protocol import TwoPartySession, run_two_party
+from repro.sim.config import HaacConfig
+
+
+def _bits(circuit):
+    garbler = [(i ^ 1) & 1 for i in range(circuit.n_garbler_inputs)]
+    evaluator = [i & 1 for i in range(circuit.n_evaluator_inputs)]
+    return garbler, evaluator
+
+
+class TestStreamedEquivalence:
+    @pytest.mark.parametrize("fixture", ["tiny_circuit", "adder_circuit", "mixed_circuit"])
+    @pytest.mark.parametrize("backend", [None, "auto"])
+    def test_matches_monolithic(self, request, fixture, backend):
+        circuit = request.getfixturevalue(fixture)
+        g, e = _bits(circuit)
+        mono = run_two_party(circuit, g, e, backend=backend)
+        streamed = run_two_party(circuit, g, e, backend=backend, streamed=True)
+        assert streamed.output_bits == mono.output_bits
+        assert streamed.and_gates == mono.and_gates
+        assert streamed.hash_calls_evaluator == mono.hash_calls_evaluator
+        assert streamed.streamed
+        assert streamed.transcript_digest
+        assert streamed.recovery_events == []
+        assert streamed.fault_events == []
+
+    def test_streams_one_block_per_and_level(self, mixed_circuit):
+        g, e = _bits(mixed_circuit)
+        result = run_two_party(mixed_circuit, g, e, streamed=True)
+        and_levels = sum(
+            1
+            for and_positions, _ in mixed_circuit.and_level_schedule()
+            if and_positions
+        )
+        assert result.streamed_levels == and_levels
+        assert result.first_level_s is not None and result.first_level_s > 0
+
+    def test_backend_choice_is_transcript_invariant(self, adder_circuit):
+        g, e = _bits(adder_circuit)
+        reference = run_two_party(adder_circuit, g, e, streamed=True)
+        batched = run_two_party(
+            adder_circuit, g, e, backend="auto", streamed=True
+        )
+        assert batched.output_bits == reference.output_bits
+        assert batched.transcript_digest == reference.transcript_digest
+
+    def test_exhaustive_tiny(self, tiny_circuit):
+        for a in (0, 1):
+            for b in (0, 1):
+                mono = run_two_party(tiny_circuit, [a], [b])
+                streamed = run_two_party(tiny_circuit, [a], [b], streamed=True)
+                assert streamed.output_bits == mono.output_bits
+                assert streamed.output_bits == [(a & b) ^ (1 - a)]
+
+    def test_seed_changes_digest_not_outputs(self, adder_circuit):
+        g, e = _bits(adder_circuit)
+        one = run_two_party(adder_circuit, g, e, seed=1, streamed=True)
+        two = run_two_party(adder_circuit, g, e, seed=2, streamed=True)
+        assert one.output_bits == two.output_bits
+        assert one.transcript_digest != two.transcript_digest
+
+
+class TestZeroLengthEdges:
+    """Degenerate shapes must work in both drive modes (satellite: the
+    streamed path's serializers see zero-byte payloads here)."""
+
+    @pytest.fixture
+    def no_evaluator_inputs(self):
+        gates = [
+            Gate(GateOp.AND, 0, 1, 2),
+            Gate(GateOp.XOR, 0, 2, 3),
+        ]
+        return Circuit.from_gates(2, 0, gates, [3], "no-eval-inputs")
+
+    @pytest.fixture
+    def xor_only(self):
+        gates = [
+            Gate(GateOp.XOR, 0, 1, 2),
+            Gate(GateOp.INV, 2, -1, 3),
+        ]
+        return Circuit.from_gates(1, 1, gates, [3], "xor-only")
+
+    @pytest.fixture
+    def single_level(self):
+        gates = [Gate(GateOp.AND, 0, 1, 2)]
+        return Circuit.from_gates(1, 1, gates, [2], "one-and")
+
+    @pytest.mark.parametrize("streamed", [False, True])
+    def test_no_evaluator_inputs(self, no_evaluator_inputs, streamed):
+        for a in (0, 1):
+            for b in (0, 1):
+                result = run_two_party(
+                    no_evaluator_inputs, [a, b], [], streamed=streamed
+                )
+                assert result.output_bits == [a ^ (a & b)]
+
+    @pytest.mark.parametrize("streamed", [False, True])
+    def test_no_and_gates(self, xor_only, streamed):
+        for a in (0, 1):
+            for b in (0, 1):
+                result = run_two_party(xor_only, [a], [b], streamed=streamed)
+                assert result.output_bits == [1 ^ a ^ b]
+                assert result.and_gates == 0
+                if streamed:
+                    assert result.streamed_levels == 0
+                    assert result.first_level_s is None
+
+    @pytest.mark.parametrize("streamed", [False, True])
+    def test_single_and_level(self, single_level, streamed):
+        for a in (0, 1):
+            for b in (0, 1):
+                result = run_two_party(single_level, [a], [b], streamed=streamed)
+                assert result.output_bits == [a & b]
+                if streamed:
+                    assert result.streamed_levels == 1
+
+    @pytest.mark.parametrize("streamed", [False, True])
+    def test_wrong_input_counts_rejected(self, single_level, streamed):
+        with pytest.raises(ValueError, match="garbler input bits"):
+            run_two_party(single_level, [0, 1], [0], streamed=streamed)
+        with pytest.raises(ValueError, match="evaluator input bits"):
+            run_two_party(single_level, [0], [], streamed=streamed)
+
+
+class TestConfigWiring:
+    def test_config_supplies_fault_spec(self, tiny_circuit):
+        config = HaacConfig().with_fault_spec("duplicate:1.0,seed=3")
+        result = run_two_party(tiny_circuit, [1], [1], config=config, streamed=True)
+        assert result.output_bits == [(1 & 1) ^ 0]
+        assert any(event.kind == "duplicate" for event in result.fault_events)
+
+    def test_explicit_faults_beat_config(self, tiny_circuit):
+        config = HaacConfig().with_fault_spec("drop:1.0,seed=3")
+        result = run_two_party(
+            tiny_circuit, [1], [0], config=config, faults="seed=1", streamed=True
+        )
+        assert result.fault_events == []
+
+    def test_env_spec_consulted(self, tiny_circuit, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "duplicate:1.0,seed=2")
+        result = run_two_party(tiny_circuit, [0], [1], streamed=True)
+        assert any(event.kind == "duplicate" for event in result.fault_events)
+
+
+class TestDegradationSurfacing:
+    def test_backend_fallback_reason_lands_in_recovery_events(self, tiny_circuit):
+        backend = get_backend("scalar")
+        backend.auto_fallback_reason = "numpy backend unavailable: (test)"
+        result = run_two_party(tiny_circuit, [1], [1], backend=backend)
+        assert [
+            (event.layer, event.kind)
+            for event in result.recovery_events
+        ] == [("backend", "scalar_fallback")]
+
+    def test_pool_disabled_reason_lands_in_recovery_events(self, tiny_circuit):
+        backend = get_backend("scalar")
+        backend.pool_disabled_reason = "BrokenProcessPool: (test)"
+        result = run_two_party(tiny_circuit, [1], [1], backend=backend, streamed=True)
+        assert ("pool", "pool_disabled") in [
+            (event.layer, event.kind) for event in result.recovery_events
+        ]
+
+    def test_auto_fallback_note_warns_once(self, monkeypatch):
+        from repro.gc.backends import base
+
+        monkeypatch.setattr(base, "_AUTO_FALLBACK_WARNED", False)
+        backend = get_backend("scalar")
+        with pytest.warns(RuntimeWarning, match="degraded to 'scalar'"):
+            base._note_auto_fallback(backend, "numpy backend unavailable: x")
+        assert backend.auto_fallback_reason == "numpy backend unavailable: x"
+        # Second note: reason still stamped, but no second warning.
+        other = get_backend("scalar")
+        base._note_auto_fallback(other, "again")
+        assert other.auto_fallback_reason == "again"
