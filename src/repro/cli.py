@@ -8,6 +8,8 @@ Subcommands:
   configuration's schedule/traffic;
 * ``simulate``    -- timing-simulate a workload on a chosen design point;
 * ``protocol``    -- run the real two-party millionaires' demo;
+* ``serve``       -- multiplex N concurrent streamed sessions on one
+  scheduler and report per-session service metrics;
 * ``cache``       -- inspect, prune or clear the persistent compile cache;
 * ``scenarios``   -- render the scenario-grid artifact (queue-SRAM knee /
   memory-bound flip table + ASCII sweep charts).
@@ -159,6 +161,66 @@ def build_parser() -> argparse.ArgumentParser:
         "kill_worker tear_cache; implies --stream; default: "
         "$REPRO_FAULTS)",
     )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run N concurrent streamed millionaires sessions through "
+        "the session multiplexer and report service metrics",
+    )
+    p_srv.add_argument(
+        "--sessions", type=int, default=4, help="sessions to submit"
+    )
+    p_srv.add_argument("--width", type=int, default=16)
+    p_srv.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="simultaneously running sessions (the scheduler slots)",
+    )
+    p_srv.add_argument(
+        "--pending",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admission queue depth behind the slots; a submit past "
+        "slots+queue is rejected with ServiceSaturated",
+    )
+    p_srv.add_argument(
+        "--window",
+        type=int,
+        default=1,
+        metavar="L",
+        help="max garbled-but-unevaluated AND levels in flight per "
+        "session (per-session backpressure)",
+    )
+    p_srv.add_argument(
+        "--transport",
+        choices=["memory", "socket"],
+        default="memory",
+        help="framed-pair wire: in-memory LossyWire or a kernel "
+        "socketpair (faulted sessions always use memory -- fault "
+        "plans are a LossyWire feature)",
+    )
+    p_srv.add_argument("--backend", default=None, help="gc label-hash backend")
+    p_srv.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard garbling across N worker processes",
+    )
+    p_srv.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault spec injected into the --fault-session session only",
+    )
+    p_srv.add_argument(
+        "--fault-session",
+        type=int,
+        default=0,
+        metavar="I",
+        help="index of the session that receives --faults (default 0)",
+    )
+    p_srv.add_argument("--seed", type=int, default=2023)
 
     p_sc = sub.add_parser(
         "scenarios",
@@ -352,6 +414,119 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_backend_flag(args: argparse.Namespace) -> Optional[str]:
+    """Combine --backend / --workers the way the protocol demo does."""
+    backend = getattr(args, "backend", None)
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        base = backend.split(":", 1)[0] if backend else None
+        if base not in (None, "auto", "parallel"):
+            raise SystemExit(
+                f"--workers applies to the parallel backend, not {backend!r}"
+            )
+        backend = f"parallel:{workers}"
+    return backend
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .circuits.builder import CircuitBuilder
+    from .circuits.stdlib.integer import encode_int, less_than
+    from .faults import ProtocolFault, ServiceSaturated
+    from .gc.protocol import TwoPartySession
+    from .serve import SessionMultiplexer, make_socket_framed_pair
+
+    builder = CircuitBuilder()
+    alice = builder.add_garbler_inputs(args.width)
+    bob = builder.add_evaluator_inputs(args.width)
+    builder.mark_outputs([less_than(builder, bob, alice)])
+    circuit = builder.build("millionaires")
+    backend = _resolve_backend_flag(args)
+
+    mux = SessionMultiplexer(
+        max_concurrent=args.concurrency,
+        max_pending=args.pending,
+        max_inflight_levels=args.window,
+    )
+    top = (1 << args.width) - 1
+    handles = []
+    expected = []
+    for index in range(args.sessions):
+        # Distinct, deterministic wealth per session; expected result
+        # is checked in plaintext after the run.
+        wealth_a = (args.seed * 7919 + index * 104729) % top
+        wealth_b = (args.seed * 6271 + index * 75989) % top
+        spec = args.faults if index == args.fault_session else None
+        session = TwoPartySession(
+            circuit, seed=args.seed + index, backend=backend, faults=spec
+        )
+        pair = None
+        if args.transport == "socket" and spec is None:
+            pair = make_socket_framed_pair()
+        try:
+            handle = mux.submit(
+                session,
+                encode_int(wealth_a, args.width),
+                encode_int(wealth_b, args.width),
+                session_id=f"s{index}",
+                pair=pair,
+            )
+        except ServiceSaturated as exc:
+            print(f"s{index} rejected: {exc}")
+            continue
+        handles.append(handle)
+        expected.append(1 if wealth_b < wealth_a else 0)
+
+    stats = mux.run_until_complete()
+
+    mismatches = 0
+    rows = []
+    for handle, want in zip(handles, expected):
+        session_stats = handle.stats
+        if handle.result is not None:
+            got = handle.result.output_bits[0]
+            status = "ok" if got == want else "WRONG OUTPUT"
+            mismatches += got != want
+        else:
+            status = session_stats.error or "failed"
+        rows.append([
+            session_stats.session_id,
+            status,
+            f"{session_stats.queue_wait_s * 1e3:.1f}",
+            (
+                f"{session_stats.first_level_s * 1e3:.1f}"
+                if session_stats.first_level_s is not None
+                else "-"
+            ),
+            f"{session_stats.run_s * 1e3:.1f}",
+            session_stats.streamed_levels,
+            session_stats.recovery_events,
+        ])
+    print(render_table(
+        ["Session", "Status", "Queue ms", "1st level ms", "Run ms",
+         "Levels", "Recoveries"],
+        rows,
+        title=f"{len(handles)} sessions x {args.width}-bit millionaires "
+        f"({args.concurrency} slots, window {args.window}, "
+        f"{args.transport} wire)",
+    ))
+    summary = stats.summary()
+    print(
+        f"completed {summary['completed']}/{summary['sessions']} "
+        f"(faulted {summary['faulted']}, rejected {summary['rejected']}) "
+        f"in {summary['wall_s'] * 1e3:.1f} ms: "
+        f"{summary['sessions_per_s']:.1f} sessions/s, "
+        f"first-level p50 "
+        f"{(summary['first_level_p50_s'] or 0) * 1e3:.1f} ms / p95 "
+        f"{(summary['first_level_p95_s'] or 0) * 1e3:.1f} ms"
+    )
+    if mismatches:
+        print(f"{mismatches} sessions returned wrong outputs", file=sys.stderr)
+        return 3
+    if args.faults is None and summary["faulted"]:
+        return 3
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .core.progcache import (
         CACHE_SCHEMA,
@@ -482,6 +657,7 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "simulate": _cmd_simulate,
     "protocol": _cmd_protocol,
+    "serve": _cmd_serve,
     "cache": _cmd_cache,
     "scenarios": _cmd_scenarios,
     "figures": _cmd_figures,

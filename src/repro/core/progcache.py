@@ -54,6 +54,7 @@ import os
 import pickle
 import sys
 import tempfile
+import threading
 from array import array
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -295,6 +296,16 @@ class ProgramCache:
         self._memory: Optional[Dict[str, "CompileResult"]] = (
             {} if memory else None
         )
+        # Guards the memory layer and the stat counters: concurrent
+        # sessions share one store instance per directory (_store_for),
+        # and unguarded `stats.hits += 1` read-modify-writes lose
+        # updates under threads.  Disk-level races (a prune unlinking an
+        # entry mid-get, two cold compiles putting the same digest) are
+        # instead resolved by construction: put is atomic via
+        # tempfile + os.replace (last writer wins with identical
+        # content), and a get that loses its file degrades to
+        # recompilation with a recovery event.
+        self._lock = threading.Lock()
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
@@ -343,25 +354,40 @@ class ProgramCache:
 
         A corrupted/truncated/stale entry is removed and reported as a
         miss (plus a ``corrupt`` count) -- the caller simply recompiles;
-        the cache never raises on bad content.
+        the cache never raises on bad content.  An entry that *existed*
+        but vanished before it could be read (a concurrent prune or
+        clear unlinked it mid-get) also degrades to a miss, with a
+        ``("cache", "entry_recovered")`` event so the race is
+        observable.
         """
         if self._memory is not None:
-            resident = self._memory.get(key)
-            if resident is not None:
-                self.stats.hits += 1
-                return resident
+            with self._lock:
+                resident = self._memory.get(key)
+                if resident is not None:
+                    self.stats.hits += 1
+                    return resident
         path = self.path_for(key)
         self._maybe_tear(path, key)
+        existed = path.exists()
         try:
             result = self._load_payload(path)
         except FileNotFoundError:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
+            if existed:
+                faults_mod.record_recovery(
+                    "cache",
+                    "entry_recovered",
+                    f"{path.name} unlinked mid-get (concurrent prune?); "
+                    "recompiling",
+                )
             return None
         except Exception as exc:
             # _StaleSchemaError lands here too: a current-schema *key*
             # whose payload claims another schema is tampered content.
-            self.stats.misses += 1
-            self.stats.corrupt += 1
+            with self._lock:
+                self.stats.misses += 1
+                self.stats.corrupt += 1
             try:
                 path.unlink()
             except OSError:
@@ -372,9 +398,10 @@ class ProgramCache:
                 f"{type(exc).__name__}: dropped {path.name}; recompiling",
             )
             return None
-        self.stats.hits += 1
-        if self._memory is not None:
-            self._memory[key] = result
+        with self._lock:
+            self.stats.hits += 1
+            if self._memory is not None:
+                self._memory[key] = result
         return result
 
     @staticmethod
@@ -395,9 +422,16 @@ class ProgramCache:
 
     def put(self, key: str, result: "CompileResult") -> None:
         """Atomically persist ``result`` (best-effort: IO errors are
-        swallowed -- a failed put only costs a future recompile)."""
+        swallowed -- a failed put only costs a future recompile).
+
+        Concurrent puts of one key (two sessions cold-compiling the
+        same digest) are safe: each writes its own temp file and the
+        ``os.replace`` rename is atomic, so readers always see one
+        complete entry -- whichever writer landed last.
+        """
         if self._memory is not None:
-            self._memory[key] = result
+            with self._lock:
+                self._memory[key] = result
         payload = {"schema": CACHE_SCHEMA, "key": key, "result": result}
         try:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -416,12 +450,14 @@ class ProgramCache:
                 raise
         except OSError:
             return
-        self.stats.puts += 1
+        with self._lock:
+            self.stats.puts += 1
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         if self._memory is not None:
-            self._memory.clear()
+            with self._lock:
+                self._memory.clear()
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.pkl"):
@@ -511,14 +547,16 @@ class ProgramCache:
 #: One store instance per resolved directory, so hit/miss counters
 #: accumulate process-wide no matter which layer resolved the cache.
 _INSTANCES: Dict[str, ProgramCache] = {}
+_INSTANCES_LOCK = threading.Lock()
 
 
 def _store_for(path: Union[str, Path]) -> ProgramCache:
     resolved = str(Path(path).expanduser().resolve())
-    store = _INSTANCES.get(resolved)
-    if store is None:
-        store = ProgramCache(resolved)
-        _INSTANCES[resolved] = store
+    with _INSTANCES_LOCK:
+        store = _INSTANCES.get(resolved)
+        if store is None:
+            store = ProgramCache(resolved)
+            _INSTANCES[resolved] = store
     return store
 
 

@@ -30,6 +30,7 @@ from .errors import (
     ProtocolFault,
     RecoveryEvent,
     RecoveryLog,
+    ServiceSaturated,
     SessionAborted,
     TranscriptMismatch,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "TranscriptMismatch",
     "CacheEntryTorn",
     "ChannelProtocolError",
+    "ServiceSaturated",
     "RecoveryEvent",
     "RecoveryLog",
     "FaultEvent",

@@ -31,6 +31,7 @@ __all__ = [
     "TranscriptMismatch",
     "CacheEntryTorn",
     "ChannelProtocolError",
+    "ServiceSaturated",
     "RecoveryEvent",
     "RecoveryLog",
 ]
@@ -68,6 +69,14 @@ class CacheEntryTorn(ProtocolFault):
 
 class ChannelProtocolError(ProtocolFault):
     """The legacy in-memory channel was used out of protocol order."""
+
+
+class ServiceSaturated(ProtocolFault):
+    """The session multiplexer refused admission (capacity exhausted).
+
+    Raised by :meth:`repro.serve.SessionMultiplexer.submit` when both
+    the concurrency slots and the pending queue are full -- the typed
+    backpressure signal, distinct from any in-session failure."""
 
 
 @dataclass(frozen=True)

@@ -26,6 +26,7 @@ from .base import (
     get_backend,
     register_backend,
     registered_backends,
+    reset_warn_once,
     resolve_backend,
     split_spec,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "get_backend",
     "register_backend",
     "registered_backends",
+    "reset_warn_once",
     "resolve_backend",
     "split_spec",
     "shutdown_pools",

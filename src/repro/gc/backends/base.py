@@ -42,6 +42,7 @@ __all__ = [
     "registered_backends",
     "resolve_backend",
     "split_spec",
+    "reset_warn_once",
     "BACKEND_ENV_VAR",
 ]
 
@@ -198,22 +199,57 @@ def resolve_backend(
     return get_backend(name)
 
 
-_AUTO_FALLBACK_WARNED = False
+class _WarnOnceRegistry:
+    """Deduplicated warning emitter with an explicit reset hook.
+
+    Replaces the old module-global boolean flags: those leaked "already
+    warned" state across concurrent sessions and between test runs, so a
+    degradation in session 2 was silent because session 1 had warned
+    first, and test isolation depended on import order.  Keys are
+    arbitrary hashables scoping the dedup (e.g. per backend name, per
+    pool configuration); :func:`reset_warn_once` clears the registry and
+    is called by the test suite's autouse fixture.
+    """
+
+    def __init__(self) -> None:
+        self._seen: set = set()
+
+    def warn(self, key, message: str, *, stacklevel: int = 3) -> bool:
+        """Emit ``message`` as a RuntimeWarning unless ``key`` already
+        fired; returns True when the warning was actually emitted."""
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        import warnings
+
+        warnings.warn(message, RuntimeWarning, stacklevel=stacklevel)
+        return True
+
+    def reset(self) -> None:
+        self._seen.clear()
+
+
+_WARN_ONCE = _WarnOnceRegistry()
+
+
+def reset_warn_once() -> None:
+    """Forget every warn-once key (auto-fallback, pool-disable, ...).
+
+    Test fixtures call this between tests; a long-lived service may call
+    it when starting a fresh batch of sessions so each batch surfaces
+    its own degradations.
+    """
+    _WARN_ONCE.reset()
 
 
 def _note_auto_fallback(backend: LabelHashBackend, reason: str) -> None:
     """Make the auto-resolution fallback to a slower tier observable."""
-    global _AUTO_FALLBACK_WARNED
     backend.auto_fallback_reason = reason
-    if not _AUTO_FALLBACK_WARNED:
-        _AUTO_FALLBACK_WARNED = True
-        import warnings
-
-        warnings.warn(
-            f"gc backend auto-selection degraded to {backend.name!r}: {reason}",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+    _WARN_ONCE.warn(
+        ("auto_fallback", backend.name),
+        f"gc backend auto-selection degraded to {backend.name!r}: {reason}",
+        stacklevel=4,
+    )
     from ...faults import record_recovery
 
     record_recovery("backend", "scalar_fallback", reason)

@@ -35,10 +35,11 @@ Design invariants (see DESIGN.md section 7):
   mapped in every worker (the attachment LRU keeps it hot); per-level
   ``hash_schedule_rows`` calls then ship 8-byte row indices instead of
   re-copying 176-byte schedule rows through the transport blocks every
-  AND level.  A generation stamp ties each :class:`ResidentSchedules`
-  handle to the pool state that wrote it; on any mismatch (pool died,
-  another program expanded since) the call silently degrades to the
-  parent-side copy of the expansion.
+  AND level.  Each expansion gets its own block under a generation
+  stamp, and a pool keeps the most recent ``_SCHED_BLOCK_CAP``
+  generations live so concurrent sessions sharing the pool all stay
+  hot; a handle whose generation was evicted (or whose pool died)
+  silently degrades to the parent-side copy of the expansion.
 * **Per-shard retry, then serial fallback.**  A failed shard is
   re-dispatched once (task errors retry just the failed shards; a
   broken/timed-out pool is rebuilt with fresh transport blocks and the
@@ -63,7 +64,6 @@ import itertools
 import multiprocessing
 import os
 import signal
-import warnings
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
@@ -73,7 +73,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...faults import active_plan as _active_plan
 from ...faults import record_recovery as _record_recovery
-from .base import BackendUnavailable, LabelHashBackend, get_backend
+from .base import _WARN_ONCE, BackendUnavailable, LabelHashBackend, get_backend
 
 __all__ = [
     "ParallelLabelHashBackend",
@@ -272,13 +272,20 @@ class _PoolHandle:
         self.workers = workers
         self._in: Optional[shared_memory.SharedMemory] = None
         self._out: Optional[shared_memory.SharedMemory] = None
-        # Resident whole-program key-schedule block: written once per
-        # expand_keys_program generation, read by sched_rows tasks for
-        # the rest of that program's levels.  Kept separate from the
-        # per-level transport blocks so level dispatches never clobber
-        # it.
-        self._sched: Optional[shared_memory.SharedMemory] = None
-        self.sched_generation = 0
+        # Resident whole-program key-schedule blocks, one per live
+        # expand_keys_program generation, keyed by generation stamp.
+        # Concurrent sessions sharing this pool each keep their own
+        # program's expansion resident (up to _SCHED_BLOCK_CAP, evicted
+        # LRU); an evicted or retired generation silently degrades to
+        # the parent-side copy.  Kept separate from the per-level
+        # transport blocks so level dispatches never clobber them.
+        self._sched_blocks: "OrderedDict[int, shared_memory.SharedMemory]" = (
+            OrderedDict()
+        )
+        # Freshly written expansion not yet published under a
+        # generation: staged by schedule_block, published by
+        # adopt_schedule once the dispatch that fills it succeeded.
+        self._pending_sched: Optional[shared_memory.SharedMemory] = None
 
     @staticmethod
     def _ensure(
@@ -287,8 +294,7 @@ class _PoolHandle:
         if block is not None and block.size >= nbytes:
             return block
         if block is not None:
-            block.close()
-            block.unlink()
+            _retire_block(block)
         size = 1 << max(12, (max(1, nbytes) - 1).bit_length())
         return shared_memory.SharedMemory(create=True, size=size)
 
@@ -301,21 +307,61 @@ class _PoolHandle:
         return self._in, self._out
 
     def schedule_block(self, nbytes: int) -> shared_memory.SharedMemory:
-        """Grow-on-demand resident schedule block (one per pool)."""
-        self._sched = self._ensure(self._sched, nbytes)
-        return self._sched
+        """Stage a fresh resident-schedule block for one expansion.
+
+        Always a new block: live generations owned by other sessions
+        keep their own blocks untouched.  A stale pending block (a
+        previous expansion whose dispatch failed before adoption) is
+        retired first.
+        """
+        if self._pending_sched is not None:
+            _retire_block(self._pending_sched)
+        size = 1 << max(12, (max(1, nbytes) - 1).bit_length())
+        self._pending_sched = shared_memory.SharedMemory(create=True, size=size)
+        return self._pending_sched
+
+    def adopt_schedule(self, generation: int) -> None:
+        """Publish the pending block under ``generation`` (LRU-capped)."""
+        if self._pending_sched is None:  # pragma: no cover - caller bug
+            raise RuntimeError("no pending schedule block to adopt")
+        self._sched_blocks[generation] = self._pending_sched
+        self._pending_sched = None
+        while len(self._sched_blocks) > _SCHED_BLOCK_CAP:
+            _, stale = self._sched_blocks.popitem(last=False)
+            _retire_block(stale)
+
+    def resident_schedule(
+        self, generation: int
+    ) -> Optional[shared_memory.SharedMemory]:
+        """The live block for ``generation``, LRU-touched, or None."""
+        block = self._sched_blocks.pop(generation, None)
+        if block is not None:
+            self._sched_blocks[generation] = block  # move to MRU
+        return block
 
     def close(self) -> None:
         self.pool.shutdown(wait=False, cancel_futures=True)
-        for block in (self._in, self._out, self._sched):
+        blocks = [self._in, self._out, self._pending_sched]
+        blocks.extend(self._sched_blocks.values())
+        for block in blocks:
             if block is not None:
-                try:
-                    block.close()
-                    block.unlink()
-                except FileNotFoundError:  # pragma: no cover
-                    pass
-        self._in = self._out = self._sched = None
-        self.sched_generation = 0
+                _retire_block(block)
+        self._in = self._out = self._pending_sched = None
+        self._sched_blocks.clear()
+
+
+#: Live resident-schedule generations kept per pool: enough for a
+#: handful of concurrent sessions to stay hot; beyond it the
+#: least-recently-used program degrades to its parent-side copy.
+_SCHED_BLOCK_CAP = 4
+
+
+def _retire_block(block: shared_memory.SharedMemory) -> None:
+    try:
+        block.close()
+        block.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
 
 
 _POOLS: Dict[Tuple[int, str, str], _PoolHandle] = {}
@@ -596,11 +642,14 @@ class ParallelLabelHashBackend(LabelHashBackend):
         """
         if self.pool_disabled_reason is None:
             self.pool_disabled_reason = f"{type(exc).__name__}: {exc}"
-            warnings.warn(
+            # Deduplicated per pool configuration, not per instance: a
+            # fleet of sessions sharing one broken pool surfaces one
+            # warning, and reset_warn_once() re-arms it.
+            _WARN_ONCE.warn(
+                ("pool_disabled", self.workers, self.inner_name, self.start_method),
                 f"parallel gc pool disabled ({self.pool_disabled_reason}); "
                 f"falling back to in-process {self.inner_name!r} backend",
-                RuntimeWarning,
-                stacklevel=3,
+                stacklevel=4,
             )
             _record_recovery("pool", "pool_disabled", self.pool_disabled_reason)
         _drop_pool(self.workers, self.inner_name, self.start_method)
@@ -755,12 +804,13 @@ class ParallelLabelHashBackend(LabelHashBackend):
             self._disable(exc)
             return self._inner.expand_keys(keys)
         handle = _get_pool(self.workers, self.inner_name, self.start_method)
-        handle.sched_generation = next(_SCHED_GENERATIONS)
+        generation = next(_SCHED_GENERATIONS)
+        handle.adopt_schedule(generation)
         view = np.ndarray((n, 44), dtype=np.uint32, buffer=sched_shm.buf)
         return ResidentSchedules(
             array=np.array(view, copy=True),
             shm_name=sched_shm.name,
-            generation=handle.sched_generation,
+            generation=generation,
             n=n,
         )
 
@@ -769,7 +819,7 @@ class ParallelLabelHashBackend(LabelHashBackend):
         if not isinstance(sched, ResidentSchedules):
             return None
         handle = _POOLS.get((self.workers, self.inner_name, self.start_method))
-        if handle is None or handle.sched_generation != sched.generation:
+        if handle is None or handle.resident_schedule(sched.generation) is None:
             return None
         return handle
 

@@ -53,6 +53,9 @@ __all__ = [
     "FramedPair",
     "make_framed_pair",
     "DIGEST_KIND",
+    "MAX_CHUNKS_PER_MESSAGE",
+    "SEQ_MOD",
+    "seq_delta",
 ]
 
 
@@ -144,7 +147,31 @@ FRAME_HEADER = struct.Struct("<2sBIIHHBI")
 _CRC = struct.Struct("<I")
 FRAME_OVERHEAD = FRAME_HEADER.size + _CRC.size
 
+#: The chunk / n_chunks header fields are u16: one message is at most
+#: this many chunks.  ``send_message`` raises the typed
+#: :class:`~repro.faults.ChannelProtocolError` past the cap instead of
+#: letting ``struct.pack`` blow up mid-stream.
+MAX_CHUNKS_PER_MESSAGE = 0xFFFF
+
+#: Sequence numbers and message ids occupy u32 header fields and wrap
+#: mod 2^32; ordering near the wrap uses serial-number arithmetic
+#: (:func:`seq_delta`), so a stream may carry more than 2^32 frames.
+SEQ_MOD = 1 << 32
+_SEQ_HALF = 1 << 31
+
 DIGEST_KIND = "digest"  # transcript-exchange frames; excluded from digests
+
+
+def seq_delta(a: int, b: int) -> int:
+    """Signed distance ``a - b`` in serial-number arithmetic mod 2^32.
+
+    Returns a value in ``[-2^31, 2^31)``: negative when ``a`` precedes
+    ``b`` on the wrapped sequence circle (RFC 1982 style), so duplicate
+    detection keeps working across the u32 wraparound as long as fewer
+    than 2^31 frames are in flight -- the reassembly window is bounded
+    by the retransmit budget, so that always holds.
+    """
+    return ((a - b + _SEQ_HALF) % SEQ_MOD) - _SEQ_HALF
 
 
 @dataclass(frozen=True)
@@ -163,6 +190,17 @@ def encode_frame(frame: Frame) -> bytes:
     kind_bytes = frame.kind.encode("ascii")
     if len(kind_bytes) > 255:
         raise ValueError("frame kind too long")
+    if frame.chunk > MAX_CHUNKS_PER_MESSAGE or frame.n_chunks > MAX_CHUNKS_PER_MESSAGE:
+        raise ChannelProtocolError(
+            f"chunk counter overflows the u16 frame header: "
+            f"chunk={frame.chunk}, n_chunks={frame.n_chunks} "
+            f"(max {MAX_CHUNKS_PER_MESSAGE})"
+        )
+    if not 0 <= frame.seq < SEQ_MOD or not 0 <= frame.msg_id < SEQ_MOD:
+        raise ChannelProtocolError(
+            f"seq/msg_id outside the u32 header range: seq={frame.seq}, "
+            f"msg_id={frame.msg_id} (senders must wrap mod 2^32)"
+        )
     body = FRAME_HEADER.pack(
         FRAME_MAGIC,
         FRAME_VERSION,
@@ -310,15 +348,21 @@ class FramedChannel:
         chunk_bytes: int = 4096,
         max_retries: int = 8,
         backoff_base_s: float = 0.0005,
+        wire: Optional[Any] = None,
     ) -> None:
         if chunk_bytes < 1:
             raise ValueError("chunk_bytes must be >= 1")
+        if wire is not None and plan is not None:
+            raise ValueError(
+                "fault plans are applied by LossyWire; a custom wire "
+                "(e.g. a socket transport) cannot also take a plan"
+            )
         self.name = name
         self.log = log
         self.chunk_bytes = chunk_bytes
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
-        self.wire = LossyWire(name, plan)
+        self.wire = wire if wire is not None else LossyWire(name, plan)
         self.bytes_by_class: Dict[str, int] = defaultdict(int)
         # Sender state.
         self._next_seq = 0
@@ -340,16 +384,28 @@ class FramedChannel:
     # -- sender side -------------------------------------------------------
 
     def send_message(self, kind: str, payload: bytes) -> None:
-        """Frame, chunk and push one message."""
-        msg_id = self._next_msg_send
-        self._next_msg_send += 1
+        """Frame, chunk and push one message.
+
+        Messages longer than ``MAX_CHUNKS_PER_MESSAGE * chunk_bytes``
+        cannot be expressed in the u16 chunk header; that raises the
+        typed :class:`ChannelProtocolError` *before* any frame is
+        pushed, so the stream stays consistent.
+        """
         chunks = [
             payload[i : i + self.chunk_bytes]
             for i in range(0, len(payload), self.chunk_bytes)
         ] or [b""]
+        if len(chunks) > MAX_CHUNKS_PER_MESSAGE:
+            raise ChannelProtocolError(
+                f"channel {self.name}: {kind!r} message of {len(payload)} "
+                f"bytes needs {len(chunks)} chunks of {self.chunk_bytes} "
+                f"bytes, over the u16 header cap of {MAX_CHUNKS_PER_MESSAGE}"
+            )
+        msg_id = self._next_msg_send
+        self._next_msg_send = (self._next_msg_send + 1) % SEQ_MOD
         for index, chunk in enumerate(chunks):
             frame = Frame(self._next_seq, msg_id, index, len(chunks), kind, chunk)
-            self._next_seq += 1
+            self._next_seq = (self._next_seq + 1) % SEQ_MOD
             data = encode_frame(frame)
             self._retransmit[frame.seq] = data
             self.bytes_by_class[kind] += len(data)
@@ -376,7 +432,7 @@ class FramedChannel:
         while True:
             frame = self._reassembly.pop(self._next_deliver, None)
             if frame is not None:
-                self._next_deliver += 1
+                self._next_deliver = (self._next_deliver + 1) % SEQ_MOD
                 self._retransmit.pop(frame.seq, None)
                 if frame.kind != kind:
                     raise SessionAborted(
@@ -393,7 +449,7 @@ class FramedChannel:
                 frames.append(frame)
                 if len(frames) == frames[0].n_chunks:
                     payload = b"".join(f.payload for f in frames)
-                    self._next_msg_recv += 1
+                    self._next_msg_recv = (self._next_msg_recv + 1) % SEQ_MOD
                     if kind != DIGEST_KIND:
                         self._digest_update(self._recv_digest, kind, payload)
                     return payload
@@ -432,7 +488,9 @@ class FramedChannel:
                 self.corrupt_frames += 1
                 self._record("frame_corrupt", f"{self.name}: {exc}")
                 continue
-            if parsed.seq < self._next_deliver or parsed.seq in self._reassembly:
+            if seq_delta(parsed.seq, self._next_deliver) < 0 or (
+                parsed.seq in self._reassembly
+            ):
                 self.duplicate_frames += 1
                 self._record("duplicate_dropped", f"{self.name} seq={parsed.seq}")
                 continue

@@ -66,7 +66,12 @@ from .labels import lsb
 from .ot import GROUP_P, OtReceiver, OtSender
 from .rng import LabelPrg
 
-__all__ = ["SessionResult", "TwoPartySession", "run_two_party"]
+__all__ = [
+    "SessionResult",
+    "StreamedDriver",
+    "TwoPartySession",
+    "run_two_party",
+]
 
 _LABEL_BYTES = 16
 _TABLE_BYTES = 32
@@ -518,68 +523,187 @@ class TwoPartySession:
         if len(evaluator_bits) != circuit.n_evaluator_inputs:
             raise ValueError("wrong number of evaluator input bits")
 
-        log = RecoveryLog()
-        plan = resolve_fault_plan(self.faults)
-        if plan is not None:
-            plan.reset()
-        pair = make_framed_pair(
-            plan=plan,
-            log=log,
-            chunk_bytes=self.chunk_bytes,
-            max_retries=self.max_retries,
-        )
-        self.framed = pair
-        down = pair.to_evaluator
-        up = pair.to_garbler
-        resolved = self._resolved_backend()
-        try:
-            with faults_mod.install(plan, log):
-                outcome = self._drive_streamed(
-                    circuit, garbler_bits, evaluator_bits, down, up, resolved
+        driver = StreamedDriver(self, garbler_bits, evaluator_bits)
+        while not driver.done:
+            driver.step()
+        assert driver.result is not None
+        return driver.result
+
+
+class StreamedDriver:
+    """Step-wise drive of one level-streamed session.
+
+    :meth:`TwoPartySession.run_streamed` loops :meth:`step` to
+    completion; the session multiplexer (:mod:`repro.serve`) instead
+    interleaves ``step()`` calls from many drivers on one scheduler, so
+    one step is the fairness quantum.  Each step runs under the
+    session's *own* ``faults.install`` scope -- installed on entry,
+    popped on exit -- so one session's fault plan and recovery ledger
+    never leak into whichever session the scheduler steps next.
+
+    ``max_inflight_levels`` bounds how many garbled-but-not-yet-evaluated
+    AND levels may sit on the wire before the driver switches to
+    evaluating (per-session backpressure against the retransmit-buffer
+    and reassembly-window growth).  Any window produces bit-identical
+    transcripts: the per-direction message order is the same as the
+    window-1 lockstep drive, only the interleaving across directions
+    shifts.
+
+    The phases are: ``handshake`` (label draw + OT + garbler labels),
+    ``garble``/``eval`` one AND level per step, then ``finish`` (decode,
+    output exchange, transcript-digest verification, result build).
+    After a raised fault the driver is ``done`` with ``result`` still
+    ``None``.
+    """
+
+    def __init__(
+        self,
+        session: "TwoPartySession",
+        garbler_bits: Sequence[int],
+        evaluator_bits: Sequence[int],
+        *,
+        max_inflight_levels: int = 1,
+        pair: Optional[FramedPair] = None,
+    ) -> None:
+        circuit = session.circuit
+        if len(garbler_bits) != circuit.n_garbler_inputs:
+            raise ValueError("wrong number of garbler input bits")
+        if len(evaluator_bits) != circuit.n_evaluator_inputs:
+            raise ValueError("wrong number of evaluator input bits")
+        if max_inflight_levels < 1:
+            raise ValueError("max_inflight_levels must be >= 1")
+        self.session = session
+        self.circuit = circuit
+        self.garbler_bits = list(garbler_bits)
+        self.evaluator_bits = list(evaluator_bits)
+        self.max_inflight_levels = max_inflight_levels
+        self.log = RecoveryLog()
+        self.plan = resolve_fault_plan(session.faults)
+        if self.plan is not None:
+            self.plan.reset()
+        if pair is None:
+            pair = make_framed_pair(
+                plan=self.plan,
+                log=self.log,
+                chunk_bytes=session.chunk_bytes,
+                max_retries=session.max_retries,
+            )
+        else:
+            if self.plan is not None:
+                raise ValueError(
+                    "fault plans are applied by LossyWire; a session with "
+                    "a fault spec cannot ride a pre-built custom wire "
+                    "(e.g. a socket transport)"
                 )
+            # Pre-built transports (e.g. socket-backed) carry their own
+            # wires; attach this session's ledger so transport
+            # recoveries land in its recovery_events.
+            pair.to_evaluator.log = self.log
+            pair.to_garbler.log = self.log
+        self.pair = pair
+        session.framed = pair
+        self.down = pair.to_evaluator
+        self.up = pair.to_garbler
+        self.resolved = session._resolved_backend()
+        self.done = False
+        self.result: Optional[SessionResult] = None
+        # Phase state.
+        self._started = False
+        self._levels: Optional[List] = None
+        self._g = 0  # levels garbled (tables pushed onto the wire)
+        self._e = 0  # levels evaluated
+        self._t_start: Optional[float] = None
+        self._first_level_s: Optional[float] = None
+        self._streamed_levels = 0
+        self._alice: Optional[_StreamingGarbler] = None
+        self._bob: Optional[_StreamingEvaluator] = None
+
+    # -- scheduling hooks ----------------------------------------------
+
+    @property
+    def levels_total(self) -> Optional[int]:
+        """AND-level count, known once the handshake ran."""
+        return None if self._levels is None else len(self._levels)
+
+    @property
+    def levels_evaluated(self) -> int:
+        return self._e
+
+    @property
+    def streamed_levels(self) -> int:
+        """AND levels whose tables were delivered over the wire so far."""
+        return self._streamed_levels
+
+    @property
+    def first_level_s(self) -> Optional[float]:
+        """Latency to the first evaluated AND level, once reached."""
+        return self._first_level_s
+
+    def step(self) -> bool:
+        """Advance the session by one quantum; returns ``done``.
+
+        Faults raise out of here exactly as from ``run_streamed``:
+        typed :class:`~repro.faults.ProtocolFault` subclasses pass
+        through, anything else is normalised to
+        :class:`~repro.faults.SessionAborted` with the original as
+        ``__cause__``.  Either way the driver is finished -- a faulted
+        session never half-steps again.
+        """
+        if self.done:
+            return True
+        try:
+            with faults_mod.install(self.plan, self.log):
+                self._step_inner()
         except ProtocolFault:
+            self.done = True
             raise
         except Exception as exc:
             # An injected fault that corrupted a payload can surface as
             # an arbitrary error deep in OT/decode arithmetic; normalise
             # to the typed hierarchy (original kept as __cause__).
+            self.done = True
             raise SessionAborted(f"streamed session aborted: {exc}") from exc
-        output_bits, digest, streamed_levels, first_level_s, hash_calls = outcome
-        self._surface_backend_events(resolved, log)
-        return SessionResult(
-            output_bits=output_bits,
-            traffic=pair.traffic_report(),
-            total_bytes=pair.total_bytes,
-            and_gates=sum(
-                1 for gate in circuit.gates if gate.op is GateOp.AND
-            ),
-            hash_calls_evaluator=hash_calls,
-            recovery_events=list(log.events),
-            fault_events=list(plan.injected) if plan is not None else [],
-            transcript_digest=digest,
-            streamed=True,
-            streamed_levels=streamed_levels,
-            first_level_s=first_level_s,
-        )
+        return self.done
 
-    def _drive_streamed(
-        self, circuit, garbler_bits, evaluator_bits, down, up, resolved
-    ):
-        t_start = time.perf_counter()
+    def _step_inner(self) -> None:
+        if not self._started:
+            self._handshake()
+            self._started = True
+            return
+        can_garble = self._g < len(self._levels)
+        can_eval = self._e < self._g
+        in_flight = self._g - self._e
+        if can_garble and (in_flight < self.max_inflight_levels or not can_eval):
+            self._garble_one()
+        elif can_eval:
+            self._eval_one()
+        else:
+            self._finish()
+
+    # -- phases ---------------------------------------------------------
+
+    def _handshake(self) -> None:
+        circuit = self.circuit
+        session = self.session
+        down, up = self.down, self.up
+        self._t_start = time.perf_counter()
 
         # -- Alice: draw labels (R + input labels, same PRG order as run)
-        alice = _StreamingGarbler(circuit, self.seed, self.rekeyed, resolved)
+        alice = _StreamingGarbler(
+            circuit, session.seed, session.rekeyed, self.resolved
+        )
+        self._alice = alice
 
         # -- OT handshake over the framed wire -------------------------
-        sender = OtSender(LabelPrg(self.seed + 0x0F))
+        sender = OtSender(LabelPrg(session.seed + 0x0F))
         down.send_message(
             "ot_public", sender.public.to_bytes(_POINT_BYTES, "big")
         )
         receiver = OtReceiver(
-            LabelPrg(self.seed + 0xB0B),
+            LabelPrg(session.seed + 0xB0B),
             int.from_bytes(down.recv_message("ot_public"), "big"),
         )
-        points_and_secrets = receiver.choose_batch(list(evaluator_bits))
+        points_and_secrets = receiver.choose_batch(self.evaluator_bits)
         up.send_message(
             "ot_points",
             _ints_to_bytes([p for p, _ in points_and_secrets], _POINT_BYTES),
@@ -600,7 +724,7 @@ class TwoPartySession:
         )
         alice_labels = [
             alice.input_label(wire, bit)
-            for wire, bit in zip(circuit.garbler_input_wires, garbler_bits)
+            for wire, bit in zip(circuit.garbler_input_wires, self.garbler_bits)
         ]
         down.send_message(
             "garbler_labels", _ints_to_bytes(alice_labels, _LABEL_BYTES)
@@ -620,33 +744,44 @@ class TwoPartySession:
                 f"got {len(bob_alice_labels)}"
             )
         bob_labels = receiver.decrypt_batch(
-            list(evaluator_bits),
+            self.evaluator_bits,
             [secret for _, secret in points_and_secrets],
             bob_cipher_pairs,
         )
-        bob = _StreamingEvaluator(
-            circuit, bob_alice_labels + bob_labels, self.rekeyed, resolved
+        self._bob = _StreamingEvaluator(
+            circuit, bob_alice_labels + bob_labels, session.rekeyed, self.resolved
         )
+        self._levels = list(circuit.and_level_schedule())
 
-        # -- Level-streamed table delivery -----------------------------
-        first_level_s: Optional[float] = None
-        streamed_levels = 0
-        for and_positions, free_groups in circuit.and_level_schedule():
-            block = alice.garble_phase(and_positions, free_groups)
-            if and_positions:
-                down.send_message("tables", block)
-                block = down.recv_message("tables")
-                streamed_levels += 1
-            bob.eval_phase(and_positions, free_groups, block)
-            if and_positions and first_level_s is None:
-                first_level_s = time.perf_counter() - t_start
+    def _garble_one(self) -> None:
+        and_positions, free_groups = self._levels[self._g]
+        block = self._alice.garble_phase(and_positions, free_groups)
+        if and_positions:
+            self.down.send_message("tables", block)
+        self._g += 1
+
+    def _eval_one(self) -> None:
+        and_positions, free_groups = self._levels[self._e]
+        if and_positions:
+            block = self.down.recv_message("tables")
+            self._streamed_levels += 1
+        else:
+            block = b""
+        self._bob.eval_phase(and_positions, free_groups, block)
+        self._e += 1
+        if and_positions and self._first_level_s is None:
+            self._first_level_s = time.perf_counter() - self._t_start
+
+    def _finish(self) -> None:
+        circuit = self.circuit
+        down, up = self.down, self.up
 
         # -- Decode + output sharing -----------------------------------
-        down.send_message("decode", _pack_bits(alice.decode_bits()))
+        down.send_message("decode", _pack_bits(self._alice.decode_bits()))
         decode_bits = _unpack_bits(
             down.recv_message("decode"), len(circuit.outputs), "decode"
         )
-        output_bits = bob.decode(decode_bits)
+        output_bits = self._bob.decode(decode_bits)
         up.send_message("outputs", _pack_bits(output_bits))
         _unpack_bits(up.recv_message("outputs"), len(circuit.outputs), "outputs")
 
@@ -670,13 +805,26 @@ class TwoPartySession:
                 f"{claimed_up.hex()[:16]}..., receiver "
                 f"{up.recv_digest().hex()[:16]}..."
             )
-        return (
-            output_bits,
-            delivered.hex(),
-            streamed_levels,
-            first_level_s,
-            bob.hasher.calls,
+
+        TwoPartySession._surface_backend_events(self.resolved, self.log)
+        self.result = SessionResult(
+            output_bits=output_bits,
+            traffic=self.pair.traffic_report(),
+            total_bytes=self.pair.total_bytes,
+            and_gates=sum(
+                1 for gate in circuit.gates if gate.op is GateOp.AND
+            ),
+            hash_calls_evaluator=self._bob.hasher.calls,
+            recovery_events=list(self.log.events),
+            fault_events=(
+                list(self.plan.injected) if self.plan is not None else []
+            ),
+            transcript_digest=delivered.hex(),
+            streamed=True,
+            streamed_levels=self._streamed_levels,
+            first_level_s=self._first_level_s,
         )
+        self.done = True
 
 
 def run_two_party(

@@ -1,0 +1,31 @@
+"""Concurrent session service over the streamed GC protocol.
+
+The serve layer turns the single-session level-streamed drive
+(:class:`~repro.gc.protocol.StreamedDriver`) into a small in-process
+service: a cooperative :class:`SessionMultiplexer` that admits N
+concurrent two-party sessions, round-robins per-AND-level quanta across
+them on the shared hashing substrate, applies two-level backpressure
+(typed :class:`~repro.faults.ServiceSaturated` admission rejection plus
+per-session in-flight level windows), and accounts queue wait /
+first-level latency / levels-per-second into :class:`ServiceStats`.
+
+Transports: sessions default to the in-memory framed pair (which is
+where fault plans can be injected); :func:`make_socket_framed_pair`
+substitutes a kernel-``socketpair``-backed wire for OS-level realism.
+
+Entry points: the ``repro serve`` CLI subcommand and
+``scripts/bench_service.py``.
+"""
+
+from .mux import ServiceStats, SessionHandle, SessionMultiplexer, SessionStats
+from .sockets import SocketWire, close_framed_pair, make_socket_framed_pair
+
+__all__ = [
+    "ServiceStats",
+    "SessionHandle",
+    "SessionMultiplexer",
+    "SessionStats",
+    "SocketWire",
+    "close_framed_pair",
+    "make_socket_framed_pair",
+]

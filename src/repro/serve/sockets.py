@@ -1,0 +1,146 @@
+"""Socket-backed wire for the framed transport.
+
+:class:`SocketWire` is a drop-in for the wire slot of
+:class:`~repro.gc.channel.FramedChannel` (``push`` / ``pop`` /
+``pending``) that moves every frame through a real AF_UNIX
+``socketpair`` instead of an in-memory deque.  Both endpoints stay in
+this process -- the channel object owns the sender *and* receiver state
+for its direction -- but each frame crosses a kernel socket buffer with
+a 4-byte little-endian length prefix, so the serve layer exercises
+genuine OS transport behaviour (partial reads, send-buffer
+backpressure, byte-stream reframing) while staying loss-free.
+
+Fault injection remains a :class:`~repro.gc.channel.LossyWire` feature:
+``FramedChannel`` rejects combining a fault plan with a custom wire, so
+a socket-backed session is always the un-faulted control in a chaos
+matrix.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from ..faults import RecoveryLog
+from ..gc.channel import FramedChannel, FramedPair
+
+__all__ = ["SocketWire", "make_socket_framed_pair", "close_framed_pair"]
+
+_LEN_PREFIX = 4
+_IO_CHUNK = 65536
+
+
+class SocketWire:
+    """Loss-free frame pipe over a kernel ``socketpair``.
+
+    Both sockets are non-blocking.  A send that the kernel buffer will
+    not take is parked in ``_outbox`` and retried on the next ``push``
+    or ``pop`` -- the single-threaded drive loop guarantees the reader
+    eventually drains the pipe, so parking (not blocking) is the only
+    deadlock-free option when one object holds both ends.
+    """
+
+    def __init__(self, direction: str) -> None:
+        self.direction = direction
+        self._tx, self._rx = socket.socketpair()
+        self._tx.setblocking(False)
+        self._rx.setblocking(False)
+        self._outbox = bytearray()  # length-prefixed frames awaiting send
+        self._inbox = bytearray()  # raw byte stream awaiting reframing
+        self._in_flight = 0
+        self._closed = False
+        # Stats parity with LossyWire.
+        self.pushed = 0
+        self.dropped = 0
+
+    def push(self, data: bytes, seq: int) -> None:
+        if self._closed:
+            raise OSError(f"SocketWire {self.direction!r} is closed")
+        self.pushed += 1
+        self._in_flight += 1
+        self._outbox += len(data).to_bytes(_LEN_PREFIX, "little") + data
+        self._flush()
+
+    def pop(self) -> Optional[bytes]:
+        self._flush()
+        self._drain()
+        if len(self._inbox) < _LEN_PREFIX:
+            return None
+        size = int.from_bytes(self._inbox[:_LEN_PREFIX], "little")
+        if len(self._inbox) < _LEN_PREFIX + size:
+            return None
+        frame = bytes(self._inbox[_LEN_PREFIX : _LEN_PREFIX + size])
+        del self._inbox[: _LEN_PREFIX + size]
+        self._in_flight -= 1
+        return frame
+
+    def pending(self) -> int:
+        return self._in_flight
+
+    def close(self) -> None:
+        self._closed = True
+        for sock in (self._tx, self._rx):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- internals ----------------------------------------------------
+
+    def _flush(self) -> None:
+        while self._outbox:
+            try:
+                sent = self._tx.send(bytes(self._outbox[:_IO_CHUNK]))
+            except BlockingIOError:
+                # Kernel send buffer full: free space by pulling what is
+                # already in the pipe into the inbox, then retry; if the
+                # pipe is already empty the remainder stays parked.
+                if not self._drain():
+                    return
+                continue
+            del self._outbox[:sent]
+
+    def _drain(self) -> bool:
+        got = False
+        while True:
+            try:
+                chunk = self._rx.recv(_IO_CHUNK)
+            except BlockingIOError:
+                break
+            if not chunk:
+                break
+            self._inbox += chunk
+            got = True
+        return got
+
+
+def make_socket_framed_pair(
+    log: Optional[RecoveryLog] = None,
+    chunk_bytes: int = 4096,
+    max_retries: int = 8,
+) -> FramedPair:
+    """Duplex framed link whose two directions ride kernel sockets."""
+    return FramedPair(
+        to_evaluator=FramedChannel(
+            "garbler->evaluator",
+            log=log,
+            chunk_bytes=chunk_bytes,
+            max_retries=max_retries,
+            wire=SocketWire("garbler->evaluator"),
+        ),
+        to_garbler=FramedChannel(
+            "evaluator->garbler",
+            log=log,
+            chunk_bytes=chunk_bytes,
+            max_retries=max_retries,
+            wire=SocketWire("evaluator->garbler"),
+        ),
+    )
+
+
+def close_framed_pair(pair: FramedPair) -> None:
+    """Release any OS resources a pair's wires hold (no-op for LossyWire)."""
+    for channel in (pair.to_evaluator, pair.to_garbler):
+        close = getattr(channel.wire, "close", None)
+        if close is not None:
+            close()

@@ -281,6 +281,120 @@ class TestProgramCache:
         assert store.entry_count() == 0
 
 
+class TestConcurrency:
+    """Races the multiplexer exposed: prune/clear unlinking entries a
+    concurrent session is mid-get on, and concurrent cold compiles
+    putting the same digest."""
+
+    def test_entry_unlinked_mid_get_degrades_to_recompile(
+        self, tmp_path, config, monkeypatch
+    ):
+        from repro import faults as faults_mod
+        from repro.core import progcache as progcache_module
+        from repro.faults import RecoveryLog
+
+        circuit = _adder()
+        store = ProgramCache(tmp_path, memory=False)
+        compile_circuit(circuit, config.window, config.n_ges,
+                        params=config.schedule_params(), cache=store)
+        key = compile_key(
+            circuit, config.window.capacity, config.n_ges,
+            OptLevel.RO_RN_ESW, config.schedule_params(),
+        )
+        assert store.path_for(key).exists()
+
+        # Deterministically lose the race: the entry exists when get()
+        # checks, then a "concurrent prune" unlinks it before the read.
+        original = progcache_module.ProgramCache._load_payload
+
+        def vanish(self, path):
+            path.unlink()
+            return original(self, path)
+
+        monkeypatch.setattr(
+            progcache_module.ProgramCache, "_load_payload", vanish
+        )
+        log = RecoveryLog()
+        with faults_mod.install(None, log):
+            assert store.get(key) is None
+        assert store.stats.misses == 2  # cold + vanished
+        assert store.stats.corrupt == 0  # a vanished file is not damage
+        assert log.count("cache", "entry_recovered") == 1
+
+        # The caller's recompile path is intact.
+        monkeypatch.setattr(
+            progcache_module.ProgramCache, "_load_payload", original
+        )
+        result = compile_circuit(circuit, config.window, config.n_ges,
+                                 params=config.schedule_params(), cache=store)
+        assert result.streams.makespan > 0
+        assert store.stats.puts == 2
+
+    def test_plain_miss_records_no_recovery_event(self, tmp_path):
+        from repro import faults as faults_mod
+        from repro.faults import RecoveryLog
+
+        store = ProgramCache(tmp_path, memory=False)
+        log = RecoveryLog()
+        with faults_mod.install(None, log):
+            assert store.get("0" * 64) is None
+        assert log.count("cache", "entry_recovered") == 0
+
+    def test_concurrent_put_get_prune_stress(self, tmp_path):
+        import random
+        import threading
+
+        store = ProgramCache(tmp_path, memory=False)
+        keys = [f"{i:064x}" for i in range(4)]
+        for key in keys:
+            store.put(key, {"key": key, "rev": -1})
+
+        n_threads = 4
+        iterations = 150
+        barrier = threading.Barrier(n_threads)
+        errors = []
+        gets = [0] * n_threads
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            barrier.wait()
+            try:
+                for step in range(iterations):
+                    key = rng.choice(keys)
+                    roll = rng.random()
+                    if roll < 0.45:
+                        got = store.get(key)
+                        gets[worker_id] += 1
+                        assert got is None or got["key"] == key
+                    elif roll < 0.75:
+                        store.put(key, {"key": key, "rev": step})
+                    elif roll < 0.9:
+                        # Vandal: damage the entry on disk so get and
+                        # prune race to unlink the same file.
+                        try:
+                            store.path_for(key).write_bytes(b"garbage")
+                        except OSError:
+                            pass
+                    else:
+                        store.prune()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((worker_id, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # Locked counters: every get landed as exactly one hit or miss.
+        assert store.stats.hits + store.stats.misses == sum(gets)
+        # The store is healthy afterwards.
+        store.put(keys[0], {"key": keys[0], "rev": 999})
+        assert store.get(keys[0])["rev"] == 999
+
+
 class TestResolution:
     def test_disabled_by_default(self, monkeypatch):
         monkeypatch.delenv(CACHE_ENV_VAR, raising=False)

@@ -8,6 +8,7 @@ import zlib
 import pytest
 
 from repro.faults import (
+    ChannelProtocolError,
     FaultPlan,
     FrameCorrupt,
     FrameTimeout,
@@ -18,12 +19,15 @@ from repro.gc.channel import (
     DIGEST_KIND,
     FRAME_HEADER,
     FRAME_OVERHEAD,
+    MAX_CHUNKS_PER_MESSAGE,
+    SEQ_MOD,
     Frame,
     FramedChannel,
     LossyWire,
     decode_frame,
     encode_frame,
     make_framed_pair,
+    seq_delta,
 )
 
 
@@ -82,6 +86,94 @@ class TestFrameCodec:
     def test_kind_too_long_rejected(self):
         with pytest.raises(ValueError, match="kind too long"):
             encode_frame(Frame(0, 0, 0, 1, "k" * 300, b""))
+
+    def test_chunk_counter_overflow_rejected(self):
+        # Regression: chunk/n_chunks are u16 header fields; values past
+        # 65535 used to reach struct.pack and explode mid-stream.
+        with pytest.raises(ChannelProtocolError, match="u16"):
+            encode_frame(Frame(0, 0, MAX_CHUNKS_PER_MESSAGE + 1, 1, "k", b""))
+        with pytest.raises(ChannelProtocolError, match="u16"):
+            encode_frame(Frame(0, 0, 0, MAX_CHUNKS_PER_MESSAGE + 1, "k", b""))
+
+    def test_unwrapped_seq_rejected(self):
+        with pytest.raises(ChannelProtocolError, match="u32"):
+            encode_frame(Frame(SEQ_MOD, 0, 0, 1, "k", b""))
+        with pytest.raises(ChannelProtocolError, match="u32"):
+            encode_frame(Frame(0, SEQ_MOD, 0, 1, "k", b""))
+
+
+class TestChunkOverflow:
+    def test_message_at_chunk_cap_round_trips(self):
+        ch = FramedChannel("t", chunk_bytes=1, backoff_base_s=0.0)
+        payload = bytes(MAX_CHUNKS_PER_MESSAGE)
+        ch.send_message("tables", payload)
+        assert ch.frames_sent == MAX_CHUNKS_PER_MESSAGE
+        assert ch.recv_message("tables") == payload
+
+    def test_message_over_chunk_cap_raises_before_any_push(self):
+        # Regression: 65536 one-byte chunks used to hit struct.pack's
+        # u16 range error after 65535 frames were already on the wire.
+        ch = FramedChannel("t", chunk_bytes=1, backoff_base_s=0.0)
+        with pytest.raises(ChannelProtocolError, match="u16 header cap"):
+            ch.send_message("tables", bytes(MAX_CHUNKS_PER_MESSAGE + 1))
+        assert ch.frames_sent == 0
+        assert ch.wire.pending() == 0
+        assert ch.bytes_by_class == {}
+        # The stream is still usable afterwards.
+        ch.send_message("tables", b"ok")
+        assert ch.recv_message("tables") == b"ok"
+
+
+class TestSeqWraparound:
+    def test_seq_delta_serial_arithmetic(self):
+        assert seq_delta(5, 3) == 2
+        assert seq_delta(3, 5) == -2
+        assert seq_delta(0, SEQ_MOD - 1) == 1  # wrapped successor
+        assert seq_delta(SEQ_MOD - 1, 0) == -1
+        assert seq_delta(7, 7) == 0
+
+    def test_counters_wrap_mod_2_32(self):
+        # Regression: _next_seq incremented unbounded into a u32 header
+        # field; after 2^32 frames struct.pack raised.  Counters now wrap
+        # explicitly and duplicate detection uses serial arithmetic.
+        ch = FramedChannel("t", chunk_bytes=4, backoff_base_s=0.0)
+        ch._next_seq = ch._next_deliver = SEQ_MOD - 2
+        ch._next_msg_send = ch._next_msg_recv = SEQ_MOD - 1
+        for index in range(4):  # 2 frames/message straddle the wrap
+            payload = bytes([index]) * 8
+            ch.send_message("tables", payload)
+            assert ch.recv_message("tables") == payload
+        assert ch._next_seq == 6  # (2^32 - 2 + 8) mod 2^32
+        assert ch._next_deliver == ch._next_seq
+        assert ch._next_msg_send == 3
+        assert ch.send_digest() == ch.recv_digest()
+
+    def test_retransmit_across_the_wrap(self):
+        ch = FramedChannel("t", backoff_base_s=0.0)
+        ch._next_seq = ch._next_deliver = SEQ_MOD - 1
+        ch.send_message("tables", b"wrap")
+        assert ch.wire.pop() is not None  # lose the seq = 2^32 - 1 frame
+        assert ch.recv_message("tables") == b"wrap"
+        assert ch.retransmits == 1
+        # Post-wrap frames keep flowing.
+        ch.send_message("decode", b"after")
+        assert ch.recv_message("decode") == b"after"
+
+    def test_duplicate_of_pre_wrap_frame_dropped_after_wrap(self):
+        ch = FramedChannel("t", backoff_base_s=0.0)
+        ch._next_seq = ch._next_deliver = SEQ_MOD - 1
+        ch.send_message("a", b"one")
+        stale = ch.wire.pop()
+        assert stale is not None
+        ch.wire.push(stale, SEQ_MOD - 1)
+        assert ch.recv_message("a") == b"one"  # cursor now wrapped to 0
+        # Replay the pre-wrap frame: serial arithmetic must see it as
+        # "behind" seq 0, not 4 billion frames ahead.
+        ch.wire.push(stale, SEQ_MOD - 1)
+        ch.send_message("b", b"two")
+        stale_count = ch.duplicate_frames
+        assert ch.recv_message("b") == b"two"
+        assert ch.duplicate_frames == stale_count + 1
 
 
 class TestFramedChannelClean:

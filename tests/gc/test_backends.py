@@ -262,7 +262,7 @@ class TestNumpyFallback:
     def test_numpy_unavailable_raises_and_auto_falls_back(self, monkeypatch):
         monkeypatch.setattr(numpy_backend_module, "_np", None)
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
-        monkeypatch.setattr(base_module, "_AUTO_FALLBACK_WARNED", False)
+        base_module.reset_warn_once()
         with pytest.raises(BackendUnavailable, match="NumPy"):
             get_backend("numpy")
         assert "numpy" not in available_backends()

@@ -223,15 +223,35 @@ class TestResidentSchedules:
         assert backend.pool_batches >= 2  # expand + one row batch
         assert backend.pool_disabled_reason is None
 
-    def test_stale_generation_degrades_to_parent_copy(self):
+    def test_concurrent_programs_stay_resident(self):
+        """Two sessions' expansions coexist on one pool: expanding a
+        second program must not retire the first handle's rows (the
+        pre-multiplexer design kept a single block per pool)."""
+        numpy, inner, keys, labels, rows = self._program(n=300)
+        want = inner.hash_with_schedules(
+            labels, inner.expand_keys(keys)[rows]
+        )
+        backend = _pooled_backend(workers=2)
+        first = backend.expand_keys_program(keys)
+        second = backend.expand_keys_program(keys)
+        assert first.generation != second.generation
+        assert backend._resident_pool(first) is not None
+        assert backend._resident_pool(second) is not None
+        for sched in (first, second):
+            got = backend.hash_schedule_rows(labels, sched, rows)
+            assert numpy.array_equal(got, want)
+
+    def test_evicted_generation_degrades_to_parent_copy(self):
         numpy, inner, keys, labels, rows = self._program(n=300)
         want = inner.hash_with_schedules(
             labels, inner.expand_keys(keys)[rows]
         )
         backend = _pooled_backend(workers=2)
         sched = backend.expand_keys_program(keys)
-        # A second program expansion retires the first handle's rows.
-        backend.expand_keys_program(keys)
+        # Overflow the per-pool residency cap: the oldest generation is
+        # evicted LRU and its handle degrades to the parent-side copy.
+        for _ in range(parallel_module._SCHED_BLOCK_CAP):
+            backend.expand_keys_program(keys)
         assert backend._resident_pool(sched) is None
         got = backend.hash_schedule_rows(labels, sched, rows)
         assert numpy.array_equal(got, want)

@@ -168,10 +168,10 @@ class TestDegradationSurfacing:
             (event.layer, event.kind) for event in result.recovery_events
         ]
 
-    def test_auto_fallback_note_warns_once(self, monkeypatch):
+    def test_auto_fallback_note_warns_once(self):
         from repro.gc.backends import base
 
-        monkeypatch.setattr(base, "_AUTO_FALLBACK_WARNED", False)
+        base.reset_warn_once()
         backend = get_backend("scalar")
         with pytest.warns(RuntimeWarning, match="degraded to 'scalar'"):
             base._note_auto_fallback(backend, "numpy backend unavailable: x")
@@ -180,3 +180,8 @@ class TestDegradationSurfacing:
         other = get_backend("scalar")
         base._note_auto_fallback(other, "again")
         assert other.auto_fallback_reason == "again"
+        # reset_warn_once re-arms the warning (the conftest autouse
+        # fixture relies on this for test isolation).
+        base.reset_warn_once()
+        with pytest.warns(RuntimeWarning, match="degraded to 'scalar'"):
+            base._note_auto_fallback(backend, "rearmed")
