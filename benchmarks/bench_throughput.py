@@ -3,9 +3,11 @@
 Unlike the table/figure benches this does not reproduce a paper artifact
 -- it tracks *our* software substrate: gates-per-second for the scalar
 reference vs. the batched NumPy backend, recorded as JSON so future PRs
-can diff the trajectory.  The full AES-128 run (the paper's flagship
-garbling benchmark) is marked ``slow``; the mixed-circuit run keeps the
-fast lane honest.
+can diff the trajectory.  Measurement and report assembly are the same
+``repro.bench.throughput`` suite the ``repro bench throughput`` CLI
+runs -- this harness only picks circuits and asserts acceptance bars.
+The full AES-128 run (the paper's flagship garbling benchmark) is
+marked ``slow``; the mixed-circuit run keeps the fast lane honest.
 """
 
 from __future__ import annotations
@@ -14,17 +16,18 @@ import json
 
 import pytest
 
+from repro.bench.runner import BenchRunner
+from repro.bench.throughput import DEFAULT_OUT, measure
 from repro.gc.backends import available_backends
 from repro.gc.backends.throughput import (
     build_bench_circuit,
     measure_parallel_scaling,
-    measure_throughput,
 )
 
 
 def _report(name: str, record_result, repeats: int = 2) -> dict:
-    circuit = build_bench_circuit(name)
-    result = measure_throughput(circuit, repeats=repeats)
+    runner = BenchRunner(out=DEFAULT_OUT, repeats=repeats)
+    result = measure(runner, circuit_name=name, worker_counts=None)
     record_result(f"throughput_{name}", json.dumps(result, indent=2))
     return result
 

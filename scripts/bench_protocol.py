@@ -1,202 +1,36 @@
 #!/usr/bin/env python
-"""Two-party session latency: level-streamed vs monolithic delivery.
+"""Deprecated shim -- use ``python -m repro bench protocol``.
 
-Times complete ``TwoPartySession`` runs -- OT handshake, garbling,
-table transfer, evaluation, output sharing -- in both drive modes on
-the same circuit and seed:
-
-* ``monolithic`` -- :meth:`TwoPartySession.run` over the perfect
-  in-memory channel (tables ship as one message after garbling ends);
-* ``streamed`` -- :meth:`TwoPartySession.run_streamed` over the framed
-  transport (one CRC-checked table block per AND level, transcript
-  digests, the fault-injection machinery armed but empty).
-
-The headline metric is ``first_level_speedup``: how much sooner the
-Evaluator holds (and has evaluated) the first AND level's tables under
-streaming than it would have held *anything* under the monolithic
-exchange -- the software analogue of the paper's garbler/evaluator
-pipelining argument.  Full runs measure AES-128; ``--quick`` uses the
-small mixed adder/mul/compare circuit for the CI smoke lane.
-
-Results merge into ``BENCH_throughput.json`` under
-``"protocol" -> "streaming"`` (sub-schema ``repro.bench_protocol/v1``)
-so ``scripts/check_bench_regression.py`` tracks them PR over PR.
-
-Usage::
-
-    python scripts/bench_protocol.py                # AES-128
-    python scripts/bench_protocol.py --quick        # smoke-test lane
-    python scripts/bench_protocol.py --json out.json
+Forwards unchanged to :mod:`repro.bench.protocol` (same flags, same
+``"protocol"`` section merged into ``BENCH_throughput.json``) and warns
+once.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
-import time
+import warnings
 
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-from repro.circuits.builder import CircuitBuilder  # noqa: E402
-from repro.circuits.netlist import GateOp  # noqa: E402
-from repro.circuits.stdlib.integer import add, less_than, mul  # noqa: E402
-from repro.gc.protocol import TwoPartySession  # noqa: E402
-
-PROTOCOL_SCHEMA = "repro.bench_protocol/v1"
-
-
-def _quick_circuit():
-    builder = CircuitBuilder()
-    xs = builder.add_garbler_inputs(8)
-    ys = builder.add_evaluator_inputs(8)
-    builder.mark_outputs(add(builder, xs, ys))
-    builder.mark_outputs(mul(builder, xs, ys))
-    builder.mark_outputs([less_than(builder, xs, ys)])
-    return builder.build("mixed8")
-
-
-def _full_circuit():
-    from repro.circuits.stdlib.aes_circuit import build_aes128_circuit
-
-    return build_aes128_circuit()
-
-
-def _bits(circuit):
-    garbler = [(i ^ 1) & 1 for i in range(circuit.n_garbler_inputs)]
-    evaluator = [i & 1 for i in range(circuit.n_evaluator_inputs)]
-    return garbler, evaluator
-
-
-def _best_of(repeats, fn):
-    best_seconds = None
-    best_value = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        value = fn()
-        elapsed = time.perf_counter() - start
-        if best_seconds is None or elapsed < best_seconds:
-            best_seconds = elapsed
-            best_value = value
-    return best_seconds, best_value
-
-
-def measure_protocol(quick: bool = False, repeats: int = 3) -> dict:
-    """Benchmark both drive modes; returns the ``"protocol"`` section."""
-    circuit = _quick_circuit() if quick else _full_circuit()
-    garbler_bits, evaluator_bits = _bits(circuit)
-    and_gates = sum(1 for gate in circuit.gates if gate.op is GateOp.AND)
-    and_levels = sum(
-        1 for ands, _ in circuit.and_level_schedule() if ands
-    )
-
-    def monolithic():
-        return TwoPartySession(circuit, seed=7, backend="auto").run(
-            garbler_bits, evaluator_bits
-        )
-
-    def streamed():
-        return TwoPartySession(circuit, seed=7, backend="auto").run_streamed(
-            garbler_bits, evaluator_bits
-        )
-
-    mono_seconds, mono = _best_of(repeats, monolithic)
-    streamed_seconds, stream = _best_of(repeats, streamed)
-    if mono.output_bits != stream.output_bits:
-        raise AssertionError(
-            "streamed and monolithic sessions disagree -- refusing to "
-            "report benchmark numbers for a broken protocol"
-        )
-
-    first_level_s = stream.first_level_s or streamed_seconds
-    return {
-        "schema": PROTOCOL_SCHEMA,
-        "streaming": {
-            "circuit": circuit.name,
-            "gates": len(circuit.gates),
-            "and_gates": and_gates,
-            "and_levels": and_levels,
-            "monolithic": {
-                "seconds": mono_seconds,
-                "and_gates_per_s": and_gates / mono_seconds,
-                "bytes": mono.total_bytes,
-            },
-            "streamed": {
-                "seconds": streamed_seconds,
-                "and_gates_per_s": and_gates / streamed_seconds,
-                "bytes": stream.total_bytes,
-                "first_level_s": first_level_s,
-                "framing_overhead": (
-                    streamed_seconds / mono_seconds if mono_seconds else 1.0
-                ),
-            },
-            # Time until the Evaluator has *evaluated* level 1 under
-            # streaming vs waiting out the entire monolithic exchange.
-            "first_level_speedup": mono_seconds / first_level_s,
-        },
-    }
+from repro.bench import protocol as _suite  # noqa: E402
+from repro.bench.protocol import (  # noqa: E402,F401  (re-exported)
+    PROTOCOL_SCHEMA,
+    measure_protocol,
+)
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--quick", action="store_true", help="small circuit, one repeat"
+    warnings.warn(
+        "scripts/bench_protocol.py is deprecated; use "
+        "`python -m repro bench protocol`",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    parser.add_argument(
-        "--repeats",
-        type=int,
-        default=None,
-        help="best-of-N timing repeats (default: 3, or 1 with --quick; "
-        "an explicit value always wins)",
-    )
-    parser.add_argument(
-        "--json",
-        default="BENCH_throughput.json",
-        help="report to merge the protocol section into "
-        "(default: BENCH_throughput.json)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.repeats is not None:
-        repeats = args.repeats
-    else:
-        repeats = 1 if args.quick else 3
-    section = measure_protocol(quick=args.quick, repeats=repeats)
-
-    out_path = pathlib.Path(args.json)
-    if out_path.exists():
-        data = json.loads(out_path.read_text())
-    else:
-        data = {"schema": "repro.bench_throughput/v1"}
-    data["protocol"] = section
-    out_path.write_text(json.dumps(data, indent=2) + "\n")
-
-    info = section["streaming"]
-    print(
-        f"circuit {info['circuit']}: {info['gates']} gates, "
-        f"{info['and_gates']} AND over {info['and_levels']} levels"
-    )
-    mono = info["monolithic"]
-    stream = info["streamed"]
-    print(
-        f"  monolithic: {mono['seconds'] * 1000:8.2f} ms "
-        f"({mono['and_gates_per_s']:,.0f} AND/s, {mono['bytes']:,} B)"
-    )
-    print(
-        f"    streamed: {stream['seconds'] * 1000:8.2f} ms "
-        f"({stream['and_gates_per_s']:,.0f} AND/s, {stream['bytes']:,} B, "
-        f"{stream['framing_overhead']:.2f}x framing overhead)"
-    )
-    print(
-        f" first level: {stream['first_level_s'] * 1000:8.2f} ms "
-        f"({info['first_level_speedup']:.1f}x sooner than the monolithic "
-        f"exchange completes)"
-    )
-    print(f"wrote {out_path}")
-    return 0
+    return _suite.main(argv)
 
 
 if __name__ == "__main__":

@@ -1,321 +1,41 @@
 #!/usr/bin/env python
-"""Queue-size x DRAM-bandwidth scenario scan over the timing models.
+"""Deprecated shim -- use ``python -m repro bench scenarios``.
 
-The ROADMAP's design-space question: how much queue SRAM does the
-decoupling claim actually need, and where does each workload flip from
-compute- to memory-bound as the streaming bandwidth scales?  With the
-persistent compile cache and the level-parallel NumPy replay each
-workload compiles once; the *batched config axis* then retires the
-whole scenario grid in one pass -- ``coupled_runtime_batch`` broadcasts
-the fill-time recurrence over every queue size and ``simulate_batch``
-replays every bandwidth point together (the compute rows dedupe to
-one), so the full grid costs roughly one replay instead of one per
-point.  Each grid point stays bit-identical to the serial loop; by
-default the serial sweep is also timed (and cross-checked) so the
-artifact records the before/after.
-
-Two sweeps per workload (>= 3 workloads by default):
-
-* **queue sweep** -- ``coupled_runtime`` at increasing
-  ``queue_bytes_per_ge``; reports cycles, prefetch-stall cycles and the
-  slowdown versus the fully decoupled runtime (which generous SRAM must
-  converge to -- the paper's complete-decoupling claim).
-* **bandwidth sweep** -- the decoupled model across DRAM bandwidths
-  from well below DDR4 to above HBM2; reports runtime, the
-  compute/traffic split and the memory-bound flag per point.
-
-Results land in ``BENCH_scenarios.json`` (schema
-``repro.bench_scenarios/v2``), a standalone artifact next to
-``BENCH_throughput.json``.  Each workload carries a ``summary`` block
-(queue knee, compute-bound flip point, scenario count, batched-vs-
-serial sweep seconds) that ``repro scenarios`` renders as tables and
-ASCII charts.
-
-Usage::
-
-    python scripts/bench_scenarios.py                    # 3 workloads, full grid
-    python scripts/bench_scenarios.py --quick
-    python scripts/bench_scenarios.py --workloads ReLU,Hamm,MatMult,GradDesc
-    python scripts/bench_scenarios.py --queues 256,1024,65536 --bandwidths 8.8,35.2,512
-    python scripts/bench_scenarios.py --no-serial        # skip the serial rerun
+Forwards unchanged to :mod:`repro.bench.scenarios` (same flags, same
+standalone ``BENCH_scenarios.json`` artifact; plus ``--store`` for the
+content-addressed resume) and warns once.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
-import time
+import warnings
 
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-from repro.analysis.scenarios import summarize_sweeps  # noqa: E402
-from repro.core.compiler import OptLevel, compile_circuit  # noqa: E402
-from repro.sim.config import HaacConfig  # noqa: E402
-from repro.sim.coupled import coupled_runtime, coupled_runtime_batch  # noqa: E402
-from repro.sim.dram import DramSpec  # noqa: E402
-from repro.sim.engine import engine_mode  # noqa: E402
-from repro.sim.timing import simulate, simulate_batch  # noqa: E402
-from repro.workloads import get_workload  # noqa: E402
-
-SCENARIOS_SCHEMA = "repro.bench_scenarios/v2"
-
-DEFAULT_WORKLOADS = "ReLU,Hamm,MatMult"
-DEFAULT_QUEUES = "64,256,1024,4096,16384,65536"
-#: GB/s grid: half/quarter DDR4-4400 through 2x HBM2.
-DEFAULT_BANDWIDTHS = "8.8,17.6,35.2,70.4,140.8,512,1024"
-
-#: Small builds for the smoke lane (full scaled builds otherwise).
-QUICK_PARAMS = {
-    "ReLU": {"k": 32, "width": 8},
-    "Hamm": {"n_bits": 256},
-    "MatMult": {"n": 2, "width": 8},
-    "GradDesc": {"n_points": 2, "rounds": 1},
-    "DotProd": {"n": 4, "width": 8},
-    "Triangle": {"n": 8},
-    "BubbSt": {"n": 4, "width": 8},
-    "Merse": {"state_n": 4, "state_m": 2, "n_outputs": 4},
-}
-
-
-def _dram_specs(bandwidths: "list[float]") -> "list[DramSpec]":
-    return [
-        DramSpec(name=f"{gb_s:g}GB/s", bandwidth_gb_s=gb_s)
-        for gb_s in bandwidths
-    ]
-
-
-def summary_lines(section: dict, queues: "list[int]",
-                  bandwidths: "list[float]") -> "tuple[str, str]":
-    """Human-readable knee/flip phrases, explicit when not reached."""
-    summary = section["summary"]
-    knee = summary["queue_knee_bytes_per_ge"]
-    flip = summary["compute_bound_from_gb_s"]
-    if knee is not None:
-        knee_text = f"decoupled within 1% at {knee}B/GE queue"
-    elif queues:
-        knee_text = (
-            f"decoupled within 1% not reached in sweep (max {max(queues)}B/GE)"
-        )
-    else:
-        knee_text = "decoupled within 1% not measured (no queue points)"
-    if flip is not None:
-        flip_text = f"compute-bound from {flip:g} GB/s"
-    elif bandwidths:
-        flip_text = (
-            f"compute-bound not reached in sweep (max {max(bandwidths):g} GB/s)"
-        )
-    else:
-        flip_text = "compute-bound not measured (no bandwidth points)"
-    return knee_text, flip_text
-
-
-def scan_workload(
-    name: str,
-    config: HaacConfig,
-    queues: "list[int]",
-    bandwidths: "list[float]",
-    quick: bool,
-    cache,
-    compare_serial: bool = True,
-) -> dict:
-    """Compile one workload and run the scenario grid as one batch."""
-    workload = get_workload(name)
-    if quick and name in QUICK_PARAMS:
-        built = workload.build(**QUICK_PARAMS[name])
-    else:
-        built = workload.build_scaled()
-    start = time.perf_counter()
-    compiled = compile_circuit(
-        built.circuit, config.window, config.n_ges,
-        opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
-        cache=cache,
-    )
-    compile_seconds = time.perf_counter() - start
-    streams = compiled.streams
-    specs = _dram_specs(bandwidths)
-    # The decoupled baseline is a simulated scenario too -- count it, so
-    # per-scenario timing claims include every replay the sweep pays for.
-    scenarios = 1 + len(queues) + len(bandwidths)
-
-    # Throwaway replay to materialise the level partition / NumPy plan
-    # (memoized on the stream set) before either timed region: sweeps
-    # amortise that one-time cost, and both the batched grid and the
-    # serial rerun below then measure steady-state sweep time.
-    simulate(streams, config)
-
-    # Batched grid: one coupled_runtime_batch over every queue size, one
-    # simulate_batch over every bandwidth point (the compute replay
-    # dedupes to a single row -- bandwidth never enters the compute
-    # recurrence), plus the decoupled baseline.
-    start = time.perf_counter()
-    decoupled = simulate(streams, config)
-    queue_points = coupled_runtime_batch(
-        streams, config, queues, decoupled=decoupled
-    )
-    bandwidth_sims = simulate_batch(streams, config.variants(dram=specs))
-    sweep_seconds = time.perf_counter() - start
-
-    serial_seconds = None
-    if compare_serial:
-        # PR 4's per-point loop, retimed for the before/after record --
-        # and cross-checked: every grid point must agree bit-for-bit.
-        start = time.perf_counter()
-        serial_decoupled = simulate(streams, config)
-        serial_queue = [
-            coupled_runtime(streams, config, queue_bytes)
-            for queue_bytes in queues
-        ]
-        serial_bandwidth = [
-            simulate(streams, config.with_dram(spec)) for spec in specs
-        ]
-        serial_seconds = time.perf_counter() - start
-        assert serial_decoupled.runtime_cycles == decoupled.runtime_cycles
-        assert [(p.cycles, p.stall_cycles) for p in serial_queue] == [
-            (p.cycles, p.stall_cycles) for p in queue_points
-        ], f"{name}: batched queue sweep diverged from the serial loop"
-        assert [
-            (s.compute_cycles, s.traffic_cycles, s.stalls.as_dict())
-            for s in serial_bandwidth
-        ] == [
-            (s.compute_cycles, s.traffic_cycles, s.stalls.as_dict())
-            for s in bandwidth_sims
-        ], f"{name}: batched bandwidth sweep diverged from the serial loop"
-
-    queue_sweep = [
-        {
-            "queue_bytes_per_ge": queue_bytes,
-            "cycles": point.cycles,
-            "stall_cycles": point.stall_cycles,
-            "slowdown_vs_decoupled": point.slowdown_vs_decoupled,
-        }
-        for queue_bytes, point in zip(queues, queue_points)
-    ]
-    bandwidth_sweep = [
-        {
-            "dram": spec.name,
-            "gb_s": spec.bandwidth_gb_s,
-            "runtime_cycles": sim.runtime_cycles,
-            "compute_cycles": sim.compute_cycles,
-            "traffic_cycles": sim.traffic_cycles,
-            "memory_bound": sim.memory_bound,
-        }
-        for spec, sim in zip(specs, bandwidth_sims)
-    ]
-
-    section = {
-        "params": dict(built.params),
-        "gates": len(built.circuit.gates),
-        "instructions": len(streams.program.instructions),
-        "decoupled_cycles": decoupled.runtime_cycles,
-        "compile_seconds": compile_seconds,
-        "sweep_seconds": sweep_seconds,
-        "queue_sweep": queue_sweep,
-        "bandwidth_sweep": bandwidth_sweep,
-        "summary": summarize_sweeps(queue_sweep, bandwidth_sweep, scenarios),
-    }
-    if serial_seconds is not None:
-        section["serial_sweep_seconds"] = serial_seconds
-        section["batched_speedup"] = (
-            serial_seconds / sweep_seconds if sweep_seconds else float("inf")
-        )
-    return section
+from repro.bench import scenarios as _suite  # noqa: E402
+from repro.bench.scenarios import (  # noqa: E402,F401  (re-exported)
+    DEFAULT_BANDWIDTHS,
+    DEFAULT_QUEUES,
+    DEFAULT_WORKLOADS,
+    QUICK_PARAMS,
+    SCENARIOS_SCHEMA,
+    scan_workload,
+    summary_lines,
+)
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--workloads",
-        default=DEFAULT_WORKLOADS,
-        help=f"comma-separated workload names (default: {DEFAULT_WORKLOADS})",
+    warnings.warn(
+        "scripts/bench_scenarios.py is deprecated; use "
+        "`python -m repro bench scenarios`",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    parser.add_argument(
-        "--queues",
-        default=DEFAULT_QUEUES,
-        help="comma-separated queue_bytes_per_ge sweep "
-        f"(default: {DEFAULT_QUEUES})",
-    )
-    parser.add_argument(
-        "--bandwidths",
-        default=DEFAULT_BANDWIDTHS,
-        help="comma-separated DRAM bandwidths in GB/s "
-        f"(default: {DEFAULT_BANDWIDTHS})",
-    )
-    parser.add_argument(
-        "--quick", action="store_true", help="small circuits (smoke lane)"
-    )
-    parser.add_argument(
-        "--no-serial",
-        action="store_true",
-        help="skip the serial per-point rerun (faster, but the artifact "
-        "loses the before/after sweep_seconds context)",
-    )
-    parser.add_argument(
-        "--ges", type=int, default=4, help="gate engines (default: 4)"
-    )
-    parser.add_argument(
-        "--sww-kb", type=int, default=16, help="SWW size in KB (default: 16)"
-    )
-    parser.add_argument(
-        "--cache",
-        nargs="?",
-        const=True,
-        default=None,
-        help="persistent compile cache: flag alone for the default "
-        "directory, or a path (default: $REPRO_PROG_CACHE)",
-    )
-    parser.add_argument(
-        "--json",
-        default="BENCH_scenarios.json",
-        help="output artifact (default: BENCH_scenarios.json)",
-    )
-    args = parser.parse_args(argv)
-
-    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
-    queues = [int(q) for q in args.queues.split(",") if q.strip()]
-    bandwidths = [float(b) for b in args.bandwidths.split(",") if b.strip()]
-    if len(workloads) < 1:
-        parser.error("need at least one workload")
-
-    config = HaacConfig(n_ges=args.ges, sww_bytes=args.sww_kb * 1024)
-    report = {
-        "schema": SCENARIOS_SCHEMA,
-        "engine": engine_mode(),
-        "config": {
-            "n_ges": config.n_ges,
-            "sww_bytes": config.sww_bytes,
-            "quick": args.quick,
-            "serial_compared": not args.no_serial,
-        },
-        "workloads": {},
-    }
-    for name in workloads:
-        section = scan_workload(
-            name, config, queues, bandwidths, args.quick, args.cache,
-            compare_serial=not args.no_serial,
-        )
-        report["workloads"][name] = section
-        knee_text, flip_text = summary_lines(section, queues, bandwidths)
-        line = (
-            f"{name:>9}: {section['instructions']:>7} instrs, "
-            f"compile {section['compile_seconds'] * 1000:7.1f} ms, "
-            f"{section['summary']['scenarios']} scenarios in "
-            f"{section['sweep_seconds'] * 1000:7.1f} ms"
-        )
-        if "batched_speedup" in section:
-            line += (
-                f" (serial {section['serial_sweep_seconds'] * 1000:7.1f} ms, "
-                f"batched {section['batched_speedup']:.1f}x)"
-            )
-        print(f"{line} | {knee_text}, {flip_text}")
-
-    out_path = pathlib.Path(args.json)
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
-    return 0
+    return _suite.main(argv)
 
 
 if __name__ == "__main__":

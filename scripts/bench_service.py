@@ -1,214 +1,36 @@
 #!/usr/bin/env python
-"""Concurrent-session service throughput through the multiplexer.
+"""Deprecated shim -- use ``python -m repro bench service``.
 
-Submits N identical level-streamed sessions (same circuit, seed and
-inputs) to :class:`repro.serve.SessionMultiplexer` and drives them to
-completion on the cooperative scheduler, then asserts every concurrent
-result -- output bits *and* transcript digest -- is bit-identical to a
-solo ``run_streamed`` of the same session before reporting any numbers:
-throughput figures for a protocol that corrupts under concurrency are
-worthless.
-
-Reported metrics (merged into ``BENCH_throughput.json`` under
-``"service"``, sub-schema ``repro.bench_service/v1``):
-
-* ``sessions_per_s``        -- completed sessions per wall second;
-* ``levels_per_s_mean``     -- mean per-session AND-level retire rate;
-* ``first_level_p50_s`` / ``first_level_p95_s`` -- latency until a
-  session's Evaluator has its first AND level (the pipelining headline,
-  now under multi-tenant interleaving);
-* ``queue_wait_p50_s`` / ``queue_wait_p95_s`` -- admission-queue wait.
-
-``sessions_per_s`` and ``levels_per_s_mean`` are tracked by
-``scripts/check_bench_regression.py``; the latency percentiles are
-recorded for inspection (lower-is-better metrics are not gated).
-
-Full runs serve AES-128 x 4 sessions; ``--quick`` serves the small
-mixed circuit x 8 for the CI smoke lane.
-
-Usage::
-
-    python scripts/bench_service.py                 # AES-128 x 4
-    python scripts/bench_service.py --quick         # smoke-test lane
-    python scripts/bench_service.py --json out.json
+Forwards unchanged to :mod:`repro.bench.service` (same flags, same
+``"service"`` section merged into ``BENCH_throughput.json``) and warns
+once.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
+import warnings
 
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-from repro.circuits.builder import CircuitBuilder  # noqa: E402
-from repro.circuits.stdlib.integer import add, less_than, mul  # noqa: E402
-from repro.gc.protocol import TwoPartySession  # noqa: E402
-from repro.serve import SessionMultiplexer  # noqa: E402
-
-SERVICE_SCHEMA = "repro.bench_service/v1"
-
-
-def _quick_circuit():
-    builder = CircuitBuilder()
-    xs = builder.add_garbler_inputs(8)
-    ys = builder.add_evaluator_inputs(8)
-    builder.mark_outputs(add(builder, xs, ys))
-    builder.mark_outputs(mul(builder, xs, ys))
-    builder.mark_outputs([less_than(builder, xs, ys)])
-    return builder.build("mixed8")
-
-
-def _full_circuit():
-    from repro.circuits.stdlib.aes_circuit import build_aes128_circuit
-
-    return build_aes128_circuit()
-
-
-def _bits(circuit):
-    garbler = [(i ^ 1) & 1 for i in range(circuit.n_garbler_inputs)]
-    evaluator = [i & 1 for i in range(circuit.n_evaluator_inputs)]
-    return garbler, evaluator
-
-
-def measure_service(
-    quick: bool = False,
-    sessions: int = None,
-    concurrency: int = 4,
-    window: int = 1,
-) -> dict:
-    """Benchmark the multiplexer; returns the ``"service"`` section."""
-    circuit = _quick_circuit() if quick else _full_circuit()
-    if sessions is None:
-        sessions = 8 if quick else 4
-    garbler_bits, evaluator_bits = _bits(circuit)
-
-    # Ground truth: the same session, solo.
-    solo = TwoPartySession(circuit, seed=7, backend="auto").run_streamed(
-        garbler_bits, evaluator_bits
-    )
-
-    mux = SessionMultiplexer(
-        max_concurrent=concurrency,
-        max_pending=max(0, sessions - concurrency),
-        max_inflight_levels=window,
-    )
-    handles = [
-        mux.submit(
-            TwoPartySession(circuit, seed=7, backend="auto"),
-            garbler_bits,
-            evaluator_bits,
-            session_id=f"s{index}",
-        )
-        for index in range(sessions)
-    ]
-    stats = mux.run_until_complete()
-
-    for handle in handles:
-        if handle.result is None:
-            raise AssertionError(
-                f"session {handle.session_id} failed under concurrency: "
-                f"{handle.error!r}"
-            )
-        if handle.result.output_bits != solo.output_bits:
-            raise AssertionError(
-                f"session {handle.session_id} output diverged from the "
-                "solo run -- refusing to report benchmark numbers for a "
-                "protocol that corrupts under concurrency"
-            )
-        if handle.result.transcript_digest != solo.transcript_digest:
-            raise AssertionError(
-                f"session {handle.session_id} transcript diverged from "
-                "the solo run under concurrency"
-            )
-
-    summary = stats.summary()
-    return {
-        "schema": SERVICE_SCHEMA,
-        "concurrent": {
-            "circuit": circuit.name,
-            "sessions": sessions,
-            "concurrency": concurrency,
-            "window": window,
-            "bit_identical_to_solo": True,
-            "wall_s": summary["wall_s"],
-            "sessions_per_s": summary["sessions_per_s"],
-            "levels_per_s_mean": summary["levels_per_s_mean"],
-            "first_level_p50_s": summary["first_level_p50_s"],
-            "first_level_p95_s": summary["first_level_p95_s"],
-            "queue_wait_p50_s": summary["queue_wait_p50_s"],
-            "queue_wait_p95_s": summary["queue_wait_p95_s"],
-        },
-    }
+from repro.bench import service as _suite  # noqa: E402
+from repro.bench.service import (  # noqa: E402,F401  (re-exported)
+    SERVICE_SCHEMA,
+    measure_service,
+)
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--quick", action="store_true", help="small circuit, 8 sessions"
+    warnings.warn(
+        "scripts/bench_service.py is deprecated; use "
+        "`python -m repro bench service`",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    parser.add_argument(
-        "--sessions",
-        type=int,
-        default=None,
-        help="sessions to serve (default: 4, or 8 with --quick)",
-    )
-    parser.add_argument(
-        "--concurrency", type=int, default=4, help="scheduler slots"
-    )
-    parser.add_argument(
-        "--window",
-        type=int,
-        default=1,
-        help="max in-flight AND levels per session",
-    )
-    parser.add_argument(
-        "--json",
-        default="BENCH_throughput.json",
-        help="report to merge the service section into "
-        "(default: BENCH_throughput.json)",
-    )
-    args = parser.parse_args(argv)
-
-    section = measure_service(
-        quick=args.quick,
-        sessions=args.sessions,
-        concurrency=args.concurrency,
-        window=args.window,
-    )
-
-    out_path = pathlib.Path(args.json)
-    if out_path.exists():
-        data = json.loads(out_path.read_text())
-    else:
-        data = {"schema": "repro.bench_throughput/v1"}
-    data["service"] = section
-    out_path.write_text(json.dumps(data, indent=2) + "\n")
-
-    info = section["concurrent"]
-    print(
-        f"circuit {info['circuit']}: {info['sessions']} sessions on "
-        f"{info['concurrency']} slots (window {info['window']}), all "
-        "bit-identical to solo"
-    )
-    print(
-        f"  throughput: {info['sessions_per_s']:.1f} sessions/s, "
-        f"{info['levels_per_s_mean']:.0f} levels/s per session, "
-        f"{info['wall_s'] * 1000:.1f} ms wall"
-    )
-    print(
-        f" first level: p50 {info['first_level_p50_s'] * 1000:.1f} ms, "
-        f"p95 {info['first_level_p95_s'] * 1000:.1f} ms"
-    )
-    print(
-        f"  queue wait: p50 {info['queue_wait_p50_s'] * 1000:.2f} ms, "
-        f"p95 {info['queue_wait_p95_s'] * 1000:.2f} ms"
-    )
-    print(f"wrote {out_path}")
-    return 0
+    return _suite.main(argv)
 
 
 if __name__ == "__main__":

@@ -1,326 +1,37 @@
 #!/usr/bin/env python
-"""Timing-simulator throughput: multicore / coupled / pull-based models.
+"""Deprecated shim -- use ``python -m repro bench sim``.
 
-Measures simulated-cycles-per-wall-second (and instructions/s) for the
-default engine on the decoupled, coupled, pull-based and multicore
-models, plus cold-vs-warm compile time through the persistent program
-cache, plus an engine comparison (``numpy`` level-parallel vs
-``vectorized`` flat loop vs per-gate ``reference``) on the decoupled
-replay -- at full scale that comparison runs on AES-128, the PR 4
-acceptance gate for the level-parallel engine (>= 3x vs the flat
-loop), plus the batched-grid comparison (one scenario grid retired
-through the batched config axis vs PR 4's serial per-point loop,
-reported as scenarios/s).  Results are merged into
-``BENCH_throughput.json`` under the ``"sim"`` key (sub-schema
-``repro.bench_sim/v1``) so ``scripts/check_bench_regression.py`` can
-track them PR over PR alongside the garbling numbers.
-
-Usage::
-
-    python scripts/bench_sim.py                 # full circuits + AES engines
-    python scripts/bench_sim.py --quick         # smoke-test lane
-    python scripts/bench_sim.py --json out.json
+Forwards unchanged to :mod:`repro.bench.sim` (same flags, same
+``"sim"`` section merged into ``BENCH_throughput.json``) and warns once.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
-import tempfile
-import time
+import warnings
 
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-from repro.core.compiler import OptLevel, compile_circuit  # noqa: E402
-from repro.core.progcache import ProgramCache  # noqa: E402
-from repro.sim.config import HaacConfig  # noqa: E402
-from repro.sim.coupled import (  # noqa: E402
-    coupled_runtime,
-    coupled_runtime_batch,
-    pull_based_runtime,
+from repro.bench import sim as _suite  # noqa: E402
+from repro.bench.sim import (  # noqa: E402,F401  (re-exported for importers)
+    SIM_SCHEMA,
+    measure_batched_grid,
+    measure_engines,
+    measure_sim,
 )
-from repro.sim.dram import HBM2, DramSpec  # noqa: E402
-from repro.sim.multicore import simulate_multicore  # noqa: E402
-from repro.sim.timing import simulate, simulate_batch  # noqa: E402
-from repro.workloads import get_workload  # noqa: E402
-
-SIM_SCHEMA = "repro.bench_sim/v1"
-
-#: Per-workload scenario grid for the batched-replay comparison --
-#: shaped like one scripts/bench_scenarios.py workload section.
-GRID_QUEUES = [64, 1024, 65536]
-GRID_BANDWIDTHS = [8.8, 35.2, 140.8, 512.0]
-
-
-def _best_of(repeats, fn):
-    best = None
-    value = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        value = fn()
-        elapsed = time.perf_counter() - start
-        if best is None or elapsed < best:
-            best = elapsed
-    return best, value
-
-
-def measure_engines(streams, config, repeats: int) -> dict:
-    """Decoupled replay under every engine on one compiled program.
-
-    Times warm replays (a throwaway first run materialises the level
-    partition / NumPy plan, exactly what sweeps amortise) and reports
-    the headline ``speedup_numpy_vs_vectorized``.
-    """
-    n_instr = len(streams.program.instructions)
-    entries = {}
-    for engine in ("numpy", "vectorized", "reference"):
-        pinned = config.with_sim_engine(engine)
-        simulate(streams, pinned)  # warm the derived plan/caches
-        seconds, sim = _best_of(repeats, lambda: simulate(streams, pinned))
-        entries[engine] = {
-            "seconds": seconds,
-            "instructions": n_instr,
-            "sim_cycles": float(sim.runtime_cycles),
-            "cycles_per_s": float(sim.runtime_cycles) / seconds,
-            "instr_per_s": n_instr / seconds,
-        }
-    entries["speedup_numpy_vs_vectorized"] = (
-        entries["vectorized"]["seconds"] / entries["numpy"]["seconds"]
-    )
-    entries["speedup_numpy_vs_reference"] = (
-        entries["reference"]["seconds"] / entries["numpy"]["seconds"]
-    )
-    return entries
-
-
-def measure_batched_grid(streams, config, repeats: int) -> dict:
-    """Scenario-grid retire rate: batched config axis vs serial loop.
-
-    Times one workload's worth of the ``bench_scenarios.py`` grid (the
-    decoupled baseline + a queue sweep + a bandwidth sweep) both ways:
-    PR 4's per-point loop and the batched path
-    (``coupled_runtime_batch`` + ``simulate_batch``).  The headline
-    ``scenarios_per_s`` gates the batched path in
-    ``check_bench_regression.py``.
-    """
-    specs = [
-        DramSpec(name=f"{gb_s:g}GB/s", bandwidth_gb_s=gb_s)
-        for gb_s in GRID_BANDWIDTHS
-    ]
-    bw_configs = config.variants(dram=specs)
-    scenarios = 1 + len(GRID_QUEUES) + len(specs)
-
-    def batched():
-        decoupled = simulate(streams, config)
-        queue = coupled_runtime_batch(
-            streams, config, GRID_QUEUES, decoupled=decoupled
-        )
-        bandwidth = simulate_batch(streams, bw_configs)
-        return decoupled, queue, bandwidth
-
-    def serial():
-        decoupled = simulate(streams, config)
-        queue = [
-            coupled_runtime(streams, config, queue_bytes)
-            for queue_bytes in GRID_QUEUES
-        ]
-        bandwidth = [simulate(streams, variant) for variant in bw_configs]
-        return decoupled, queue, bandwidth
-
-    batched()  # warm the level partition / NumPy plan once
-    batched_seconds, _ = _best_of(repeats, batched)
-    serial_seconds, _ = _best_of(repeats, serial)
-    return {
-        "scenarios": scenarios,
-        "queue_points": len(GRID_QUEUES),
-        "bandwidth_points": len(specs),
-        "seconds": batched_seconds,
-        "serial_seconds": serial_seconds,
-        "scenarios_per_s": scenarios / batched_seconds,
-        "serial_scenarios_per_s": scenarios / serial_seconds,
-        "speedup_batched_vs_serial": serial_seconds / batched_seconds,
-    }
-
-
-def measure_sim(quick: bool = False, repeats: int = 3) -> dict:
-    """Benchmark every timing model; returns the ``"sim"`` JSON section."""
-    relu_params = {"k": 32, "width": 8} if quick else {"k": 128, "width": 16}
-    config = HaacConfig(n_ges=4, sww_bytes=16 * 1024, dram=HBM2)
-    built = get_workload("ReLU").build(**relu_params)
-    circuit = built.circuit
-
-    compiled = compile_circuit(
-        circuit, config.window, config.n_ges,
-        opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
-    )
-    streams = compiled.streams
-    n_instr = len(streams.program.instructions)
-
-    models = {}
-
-    seconds, sim = _best_of(repeats, lambda: simulate(streams, config))
-    models["decoupled"] = {
-        "seconds": seconds,
-        "instructions": n_instr,
-        "sim_cycles": float(sim.runtime_cycles),
-        "cycles_per_s": float(sim.runtime_cycles) / seconds,
-        "instr_per_s": n_instr / seconds,
-    }
-
-    seconds, coupled = _best_of(
-        repeats, lambda: coupled_runtime(streams, config, 1024)
-    )
-    models["coupled"] = {
-        "seconds": seconds,
-        "instructions": n_instr,
-        "sim_cycles": coupled.cycles,
-        "cycles_per_s": coupled.cycles / seconds,
-        "instr_per_s": n_instr / seconds,
-    }
-
-    seconds, pull = _best_of(repeats, lambda: pull_based_runtime(streams, config))
-    models["pull_based"] = {
-        "seconds": seconds,
-        "instructions": n_instr,
-        "sim_cycles": pull.cycles,
-        "cycles_per_s": pull.cycles / seconds,
-        "instr_per_s": n_instr / seconds,
-    }
-
-    # Multicore: compile-dominated, so report cold (empty cache) vs warm
-    # (second run against the same store) end-to-end times too.
-    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
-        store = ProgramCache(cache_dir)
-        t0 = time.perf_counter()
-        result = simulate_multicore(circuit, config, n_cores=4, cache=store)
-        cold = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        simulate_multicore(circuit, config, n_cores=4, cache=store)
-        warm = time.perf_counter() - t0
-    models["multicore"] = {
-        "seconds": warm,
-        "cold_seconds": cold,
-        "warm_seconds": warm,
-        "warm_speedup": cold / warm if warm else float("inf"),
-        "instructions": n_instr,
-        "sim_cycles": result.runtime_cycles,
-        "cycles_per_s": result.runtime_cycles / warm,
-        "cache_stats": store.stats.as_dict(),
-    }
-
-    # Engine comparison on the decoupled replay.  The smoke lane uses
-    # the (small) bench circuit; the full run measures AES-128, the
-    # scale the level-parallel engine is built for.
-    engines = {"circuit": circuit.name, **measure_engines(streams, config, repeats)}
-    if not quick:
-        from repro.circuits.stdlib.aes_circuit import build_aes128_circuit
-
-        aes_config = HaacConfig(n_ges=4, sww_bytes=64 * 1024, dram=HBM2)
-        aes_compiled = compile_circuit(
-            build_aes128_circuit(), aes_config.window, aes_config.n_ges,
-            opt=OptLevel.RO_RN_ESW, params=aes_config.schedule_params(),
-        )
-        engines["aes128"] = {
-            "instructions": len(aes_compiled.streams.program.instructions),
-            **measure_engines(aes_compiled.streams, aes_config, repeats),
-        }
-
-    return {
-        "schema": SIM_SCHEMA,
-        "circuit": {
-            "name": circuit.name,
-            "gates": len(circuit.gates),
-            "instructions": n_instr,
-            "params": relu_params,
-        },
-        "models": models,
-        "engines": engines,
-        "batched_grid": measure_batched_grid(streams, config, repeats),
-    }
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--quick", action="store_true", help="small circuit, one repeat"
+    warnings.warn(
+        "scripts/bench_sim.py is deprecated; use "
+        "`python -m repro bench sim`",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    parser.add_argument(
-        "--repeats",
-        type=int,
-        default=None,
-        help="best-of-N timing repeats (default: 3, or 1 with --quick; "
-        "an explicit value always wins)",
-    )
-    parser.add_argument(
-        "--json",
-        default="BENCH_throughput.json",
-        help="report to merge the sim section into "
-        "(default: BENCH_throughput.json)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.repeats is not None:
-        repeats = args.repeats
-    else:
-        repeats = 1 if args.quick else 3
-    section = measure_sim(quick=args.quick, repeats=repeats)
-
-    out_path = pathlib.Path(args.json)
-    if out_path.exists():
-        data = json.loads(out_path.read_text())
-    else:
-        data = {"schema": "repro.bench_throughput/v1"}
-    data["sim"] = section
-    out_path.write_text(json.dumps(data, indent=2) + "\n")
-
-    info = section["circuit"]
-    print(f"circuit {info['name']}: {info['gates']} gates, "
-          f"{info['instructions']} instructions")
-    for name, entry in section["models"].items():
-        line = (
-            f"  {name:>10}: {entry['cycles_per_s']:>14,.0f} sim cycles/s "
-            f"({entry['seconds'] * 1000:.2f} ms)"
-        )
-        if "warm_speedup" in entry:
-            line += (
-                f"  cold {entry['cold_seconds'] * 1000:.1f} ms -> warm "
-                f"{entry['warm_seconds'] * 1000:.1f} ms "
-                f"({entry['warm_speedup']:.1f}x)"
-            )
-        print(line)
-
-    def print_engines(label, entries):
-        print(f"engines ({label}):")
-        for engine in ("numpy", "vectorized", "reference"):
-            entry = entries[engine]
-            print(
-                f"  {engine:>10}: {entry['cycles_per_s']:>14,.0f} sim "
-                f"cycles/s ({entry['seconds'] * 1000:.2f} ms)"
-            )
-        print(
-            f"  numpy speedup: {entries['speedup_numpy_vs_vectorized']:.2f}x "
-            f"vs vectorized, {entries['speedup_numpy_vs_reference']:.2f}x "
-            f"vs reference"
-        )
-
-    engines = section["engines"]
-    print_engines(engines["circuit"], engines)
-    if "aes128" in engines:
-        print_engines("aes128 decoupled replay", engines["aes128"])
-    grid = section["batched_grid"]
-    print(
-        f"batched grid: {grid['scenarios']} scenarios in "
-        f"{grid['seconds'] * 1000:.2f} ms "
-        f"({grid['scenarios_per_s']:,.0f} scenarios/s, "
-        f"{grid['speedup_batched_vs_serial']:.2f}x vs serial "
-        f"{grid['serial_seconds'] * 1000:.2f} ms)"
-    )
-    print(f"wrote {out_path}")
-    return 0
+    return _suite.main(argv)
 
 
 if __name__ == "__main__":

@@ -1,137 +1,31 @@
 #!/usr/bin/env python
-"""Garbling/evaluation throughput per label-hash backend.
+"""Deprecated shim -- use ``python -m repro bench throughput``.
 
-Measures gates-per-second for the scalar reference and the batched
-NumPy backend (when available) on a stdlib circuit, plus the
-``parallel`` backend's worker-scaling curve (the software analogue of
-the paper's GE-scaling figure), prints a summary and writes
-``BENCH_throughput.json`` in the stable ``repro.bench_throughput/v1``
-schema so successive PRs can track the perf trajectory.
-
-Usage::
-
-    python scripts/bench_throughput.py                       # AES-128, full
-    python scripts/bench_throughput.py --circuit mixed8
-    python scripts/bench_throughput.py --quick --json out.json
-    python scripts/bench_throughput.py --workers 1,2,4,8     # scaling sweep
-    python scripts/bench_throughput.py --workers none        # skip the sweep
+Forwards unchanged to :mod:`repro.bench.throughput` (same flags, same
+``BENCH_throughput.json`` schema) and warns once.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
+import warnings
 
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-from repro.gc.backends.throughput import (  # noqa: E402
-    BENCH_CIRCUITS,
-    build_bench_circuit,
-    measure_parallel_scaling,
-    measure_throughput,
-)
+from repro.bench import throughput as _suite  # noqa: E402
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--circuit",
-        default="aes128",
-        choices=sorted(BENCH_CIRCUITS),
-        help="stdlib circuit to garble (default: aes128)",
+    warnings.warn(
+        "scripts/bench_throughput.py is deprecated; use "
+        "`python -m repro bench throughput`",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    parser.add_argument(
-        "--backends",
-        default="scalar,numpy",
-        help="comma-separated backend names (default: scalar,numpy)",
-    )
-    parser.add_argument(
-        "--repeats",
-        type=int,
-        default=None,
-        help="best-of-N timing repeats (default: 2, or 1 with --quick; "
-        "an explicit value always wins)",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="small circuit, one repeat (smoke-test lane)",
-    )
-    parser.add_argument(
-        "--json",
-        default="BENCH_throughput.json",
-        help="output path for the JSON report (default: BENCH_throughput.json)",
-    )
-    parser.add_argument(
-        "--workers",
-        default="1,2,4",
-        help="comma-separated worker counts for the parallel-backend "
-        "scaling sweep, or 'none' to skip it (default: 1,2,4)",
-    )
-    args = parser.parse_args(argv)
-
-    circuit_name = "mixed8" if args.quick and args.circuit == "aes128" else args.circuit
-    if args.repeats is not None:
-        repeats = args.repeats
-    else:
-        repeats = 1 if args.quick else 2
-    circuit = build_bench_circuit(circuit_name)
-    backends = [name.strip() for name in args.backends.split(",") if name.strip()]
-    report = measure_throughput(circuit, backends=backends, repeats=repeats)
-
-    if args.workers.strip().lower() not in ("", "none", "0"):
-        worker_counts = [
-            int(token) for token in args.workers.split(",") if token.strip()
-        ]
-        report["parallel"] = measure_parallel_scaling(
-            circuit, worker_counts=worker_counts, repeats=repeats
-        )
-
-    out_path = pathlib.Path(args.json)
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-
-    info = report["circuit"]
-    print(
-        f"circuit {info['name']}: {info['gates']} gates "
-        f"({info['and_gates']} AND, {info['levels']} levels)"
-    )
-    for name, entry in report["backends"].items():
-        garble = entry["garble"]
-        evaluate = entry["evaluate"]
-        print(
-            f"  {name:>8}: garble {garble['gates_per_s']:>12,.0f} gates/s "
-            f"({garble['seconds']:.3f}s)  evaluate "
-            f"{evaluate['gates_per_s']:>12,.0f} gates/s ({evaluate['seconds']:.3f}s)"
-        )
-    for name, speedup in report["speedup_vs_scalar"].items():
-        print(
-            f"  {name} vs scalar: {speedup['garble']:.1f}x garble, "
-            f"{speedup['evaluate']:.1f}x evaluate"
-        )
-    for entry in report["skipped"]:
-        print(f"  skipped {entry['backend']}: {entry['reason']}")
-    scaling = report.get("parallel")
-    if scaling:
-        print(
-            f"parallel scaling (inner={scaling['inner']}, "
-            f"{scaling['cpu_count']} cores visible):"
-        )
-        for workers, entry in scaling["workers"].items():
-            garble = entry["garble"]
-            speedup = scaling["speedup_vs_1"].get(workers, {}).get("garble")
-            suffix = f"  ({speedup:.2f}x vs 1 worker)" if speedup else ""
-            print(
-                f"  {workers:>2} workers: garble "
-                f"{garble['gates_per_s']:>12,.0f} gates/s{suffix}"
-            )
-        for workers, reason in scaling["pool_fallbacks"].items():
-            print(f"  {workers} workers fell back to serial: {reason}")
-    print(f"wrote {out_path}")
-    return 0
+    return _suite.main(argv)
 
 
 if __name__ == "__main__":

@@ -1,8 +1,16 @@
 """One driver per paper table/figure (the per-experiment index of DESIGN.md).
 
 Every function returns structured data plus a rendered text block, so
-the pytest-benchmark harnesses in ``benchmarks/`` and EXPERIMENTS.md both
-regenerate the same rows.
+the pytest-benchmark harnesses in ``benchmarks/``, the figure pipeline
+in :mod:`repro.analysis.figures` and EXPERIMENTS.md all regenerate the
+same rows.
+
+Every number flows through a :class:`~repro.analysis.dataprovider.DataProvider`
+-- drivers never call :func:`compile_circuit`/:func:`simulate` directly
+and never hardcode a measured value.  Pass ``provider=`` to share one
+provider (and its :class:`~repro.store.ResultStore`) across a figure
+set; omitted, each driver computes live through the store named by the
+``REPRO_RESULT_STORE`` environment variable (or no store at all).
 
 Scaling note: the workloads are scaled down (Table 2 sizes in the
 hundreds of kilogates instead of megagates) and the SWW is scaled with
@@ -16,24 +24,21 @@ or use the small Table 5 micro-workloads).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
-from ..baselines.cpu_model import DEFAULT_CPU, CpuCostModel
-from ..baselines.plaintext import DEFAULT_PLAINTEXT
 from ..baselines.prior_work import (
     GPU_GATES_PER_US,
     HAAC_PAPER_GATES_PER_US,
     PRIOR_WORK,
-    build_micro,
 )
-from ..core.compiler import OptLevel, compile_circuit
+from ..core.compiler import OptLevel
 from ..hwmodel.area import area_model
 from ..hwmodel.energy import energy_model
 from ..hwmodel.power import power_model
 from ..sim.config import HaacConfig, Role
 from ..sim.dram import DDR4, HBM2
-from ..sim.timing import simulate
-from ..workloads.registry import PAPER_ORDER, WORKLOADS
+from ..workloads.registry import PAPER_ORDER
+from .dataprovider import DataProvider
 from .report import geomean, render_table
 
 __all__ = [
@@ -85,6 +90,10 @@ def _scaled_config(**overrides: Any) -> HaacConfig:
     return HaacConfig(**params)
 
 
+def _provider(provider: Optional[DataProvider]) -> DataProvider:
+    return provider if provider is not None else DataProvider()
+
+
 # ---------------------------------------------------------------------------
 # Table 1 -- qualitative PPC comparison
 # ---------------------------------------------------------------------------
@@ -107,12 +116,15 @@ def table1_ppc_comparison() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def table2_characteristics(quick: bool = False) -> ExperimentResult:
+def table2_characteristics(
+    quick: bool = False, provider: Optional[DataProvider] = None
+) -> ExperimentResult:
     """Levels / wires / gates / AND% / ILP / spent-wire% per workload.
 
     Spent-wire % assumes the scaled SWW with full reordering, matching
     the paper's "2MB SWW with full reordering" footnote.
     """
+    provider = _provider(provider)
     config = _scaled_config()
     headers = [
         "Benchmark", "Levels", "Wires(k)", "Gates(k)", "AND%", "ILP",
@@ -120,14 +132,9 @@ def table2_characteristics(quick: bool = False) -> ExperimentResult:
     ]
     rows: List[List[Any]] = []
     for name in _workload_names(quick):
-        workload = WORKLOADS[name]
-        built = workload.build_scaled()
-        stats = built.circuit.stats()
-        compiled = compile_circuit(
-            built.circuit, config.window, config.n_ges,
-            opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
-        )
-        paper = workload.paper_table2
+        stats = provider.circuit_stats(name)
+        point = provider.compile_point(name, config, OptLevel.RO_RN_ESW)
+        paper = provider.workload(name).paper_table2
         rows.append([
             name,
             stats.levels,
@@ -135,7 +142,7 @@ def table2_characteristics(quick: bool = False) -> ExperimentResult:
             stats.gates / 1e3,
             100.0 * stats.and_fraction,
             stats.ilp,
-            compiled.esw_report.spent_pct,
+            point.spent_pct,
             paper.levels,
             paper.and_pct,
             paper.spent_wire_pct,
@@ -153,8 +160,11 @@ def table2_characteristics(quick: bool = False) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def table3_wire_traffic(quick: bool = False) -> ExperimentResult:
+def table3_wire_traffic(
+    quick: bool = False, provider: Optional[DataProvider] = None
+) -> ExperimentResult:
     """Live / OoRW / total wire counts for segment vs full reordering."""
+    provider = _provider(provider)
     config = _scaled_config()
     headers = [
         "Benchmark", "Live Seg(k)", "Live Full(k)", "OoRW Seg(k)",
@@ -162,22 +172,14 @@ def table3_wire_traffic(quick: bool = False) -> ExperimentResult:
     ]
     rows: List[List[Any]] = []
     for name in _workload_names(quick):
-        built = WORKLOADS[name].build_scaled()
-        traffic = {}
-        for opt in (OptLevel.SEG_RN_ESW, OptLevel.RO_RN_ESW):
-            compiled = compile_circuit(
-                built.circuit, config.window, config.n_ges,
-                opt=opt, params=config.schedule_params(),
-            )
-            traffic[opt] = compiled.streams.wire_traffic_wires()
-        seg = traffic[OptLevel.SEG_RN_ESW]
-        full = traffic[OptLevel.RO_RN_ESW]
+        seg = provider.compile_point(name, config, OptLevel.SEG_RN_ESW)
+        full = provider.compile_point(name, config, OptLevel.RO_RN_ESW)
         rows.append([
             name,
-            seg[0] / 1e3, full[0] / 1e3,
-            seg[1] / 1e3, full[1] / 1e3,
-            seg[2] / 1e3, full[2] / 1e3,
-            "seg" if seg[2] < full[2] else "full",
+            seg.live_wires / 1e3, full.live_wires / 1e3,
+            seg.oor_wires / 1e3, full.oor_wires / 1e3,
+            seg.total_wires / 1e3, full.total_wires / 1e3,
+            "seg" if seg.total_wires < full.total_wires else "full",
         ])
     return ExperimentResult(
         name="Table 3: wire traffic, segment vs full reordering (ESW on)",
@@ -192,7 +194,11 @@ def table3_wire_traffic(quick: bool = False) -> ExperimentResult:
 
 
 def table4_area_power(config: Optional[HaacConfig] = None) -> ExperimentResult:
-    """Component area/power at the paper's 16 GE / 2 MB / 64-bank point."""
+    """Component area/power at the paper's 16 GE / 2 MB / 64-bank point.
+
+    Purely analytic (``area_model`` / ``power_model`` are closed-form in
+    the config), so no provider/store round-trip is involved.
+    """
     config = config or HaacConfig.paper_default()
     area = area_model(config)
     power = power_model(config)
@@ -225,7 +231,9 @@ def table4_area_power(config: Optional[HaacConfig] = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def table5_prior_work(quick: bool = False) -> ExperimentResult:
+def table5_prior_work(
+    quick: bool = False, provider: Optional[DataProvider] = None
+) -> ExperimentResult:
     """Prior accelerators vs our simulated HAAC on the same micro-workloads.
 
     Comparison configuration per the paper: full reordering, 1 MB SWW,
@@ -235,6 +243,7 @@ def table5_prior_work(quick: bool = False) -> ExperimentResult:
     garbled tables alone exceed DDR4's budget at 1.6 us), so HBM2 is
     used here.
     """
+    provider = _provider(provider)
     config = HaacConfig(
         n_ges=16, sww_bytes=1024 * 1024, dram=HBM2, role=Role.GARBLER
     )
@@ -246,12 +255,7 @@ def table5_prior_work(quick: bool = False) -> ExperimentResult:
         if wanted is not None and name not in wanted:
             continue
         if name not in our_time_us:
-            circuit = build_micro(name)
-            compiled = compile_circuit(
-                circuit, config.window, config.n_ges,
-                opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
-            )
-            sim = simulate(compiled.streams, config)
+            sim = provider.micro_sim_point(name, config, OptLevel.RO_RN_ESW)
             our_time_us[name] = sim.runtime_s * 1e6
             our_gates[name] = sim.n_instructions
     headers = [
@@ -289,32 +293,24 @@ def table5_prior_work(quick: bool = False) -> ExperimentResult:
 
 
 def fig6_compiler_opts(
-    quick: bool = False, cpu: CpuCostModel = DEFAULT_CPU
+    quick: bool = False, provider: Optional[DataProvider] = None
 ) -> ExperimentResult:
     """Speedup over CPU GC: Baseline vs RO+RN vs RO+RN+ESW (DDR4)."""
+    provider = _provider(provider)
     config = _scaled_config()
     headers = ["Benchmark", "Baseline", "RO+RN", "RO+RN+ESW", "RO+RN/Base", "ESW/RO+RN"]
     rows: List[List[Any]] = []
     speedups: Dict[str, List[float]] = {"base": [], "rorn": [], "esw": []}
     garbler_evaluator_gap: List[float] = []
     for name in _workload_names(quick):
-        built = WORKLOADS[name].build_scaled()
-        cpu_time = cpu.eval_time_for(built.circuit)
+        cpu_time = provider.cpu_time(name)
         runtimes: Dict[OptLevel, float] = {}
         for opt in (OptLevel.BASELINE, OptLevel.RO_RN, OptLevel.RO_RN_ESW):
-            compiled = compile_circuit(
-                built.circuit, config.window, config.n_ges,
-                opt=opt, params=config.schedule_params(),
-            )
-            runtimes[opt] = simulate(compiled.streams, config).runtime_s
+            runtimes[opt] = provider.sim_point(name, config, opt).runtime_s
             if opt is OptLevel.RO_RN_ESW:
                 garbler_config = config.with_role(Role.GARBLER)
-                garbler_compiled = compile_circuit(
-                    built.circuit, garbler_config.window, garbler_config.n_ges,
-                    opt=opt, params=garbler_config.schedule_params(),
-                )
-                garbler_time = simulate(
-                    garbler_compiled.streams, garbler_config
+                garbler_time = provider.sim_point(
+                    name, garbler_config, opt
                 ).runtime_s
                 garbler_evaluator_gap.append(garbler_time / runtimes[opt] - 1.0)
         base = cpu_time / runtimes[OptLevel.BASELINE]
@@ -348,6 +344,7 @@ def fig6_compiler_opts(
 def fig7_ordering_sww(
     benchmarks: Sequence[str] = ("MatMult", "BubbSt"),
     sww_sizes: Sequence[int] = (SCALED_SWW_BYTES // 4, SCALED_SWW_BYTES // 2, SCALED_SWW_BYTES),
+    provider: Optional[DataProvider] = None,
 ) -> ExperimentResult:
     """Compute time vs off-chip wire-traffic time per ordering x SWW size.
 
@@ -355,6 +352,7 @@ def fig7_ordering_sww(
     Wire-traffic time counts only wire movement (OoR reads + live
     writes), isolating the same quantity as the paper's blue bars.
     """
+    provider = _provider(provider)
     headers = [
         "Benchmark", "Order", "SWW(KB)", "Compute(us)", "WireTraffic(us)", "Bound",
     ]
@@ -365,17 +363,15 @@ def fig7_ordering_sww(
         "FullRO": OptLevel.RO_RN_ESW,
     }
     for name in benchmarks:
-        built = WORKLOADS[name].build_scaled()
         for order, opt in opt_of.items():
             for sww_bytes in sww_sizes:
                 config = _scaled_config(sww_bytes=sww_bytes)
-                compiled = compile_circuit(
-                    built.circuit, config.window, config.n_ges,
-                    opt=opt, params=config.schedule_params(),
+                sim = provider.sim_point(name, config, opt)
+                point = provider.compile_point(name, config, opt)
+                wire_bytes = (
+                    (point.live_wires + point.oor_wires) * 16
+                    + point.oor_wires * 4
                 )
-                sim = simulate(compiled.streams, config)
-                live, oor, _total = compiled.streams.wire_traffic_wires()
-                wire_bytes = (live + oor) * 16 + oor * 4
                 wire_traffic_s = wire_bytes / config.dram.bandwidth_bytes_per_s
                 rows.append([
                     name, order, sww_bytes // 1024,
@@ -397,19 +393,19 @@ def fig7_ordering_sww(
 def fig8_ge_scaling(
     quick: bool = False,
     ge_counts: Sequence[int] = (1, 2, 4, 8, 16),
-    cpu: CpuCostModel = DEFAULT_CPU,
+    provider: Optional[DataProvider] = None,
 ) -> ExperimentResult:
     """Speedup over CPU scaling GEs 1 to 16, DDR4 vs HBM2.
 
     DDR4 uses the better of segment/full reordering per workload (as the
     paper does); HBM2 always uses full reordering.
     """
+    provider = _provider(provider)
     headers = ["Benchmark", "DRAM"] + [f"{n}GE" for n in ge_counts]
     rows: List[List[Any]] = []
     scaling: Dict[str, Dict[str, List[float]]] = {}
     for name in _workload_names(quick):
-        built = WORKLOADS[name].build_scaled()
-        cpu_time = cpu.eval_time_for(built.circuit)
+        cpu_time = provider.cpu_time(name)
         scaling[name] = {}
         for dram in (DDR4, HBM2):
             speedups: List[float] = []
@@ -419,14 +415,10 @@ def fig8_ge_scaling(
                     opts = (OptLevel.RO_RN_ESW,)
                 else:
                     opts = (OptLevel.RO_RN_ESW, OptLevel.SEG_RN_ESW)
-                best = None
-                for opt in opts:
-                    compiled = compile_circuit(
-                        built.circuit, config.window, config.n_ges,
-                        opt=opt, params=config.schedule_params(),
-                    )
-                    runtime = simulate(compiled.streams, config).runtime_s
-                    best = runtime if best is None else min(best, runtime)
+                best = min(
+                    provider.sim_point(name, config, opt).runtime_s
+                    for opt in opts
+                )
                 speedups.append(cpu_time / best)
             rows.append([name, dram.name] + speedups)
             scaling[name][dram.name] = speedups
@@ -444,9 +436,10 @@ def fig8_ge_scaling(
 
 
 def fig9_energy(
-    quick: bool = False, cpu: CpuCostModel = DEFAULT_CPU
+    quick: bool = False, provider: Optional[DataProvider] = None
 ) -> ExperimentResult:
     """Component energy breakdown + energy efficiency over the CPU."""
+    provider = _provider(provider)
     config = _scaled_config(dram=HBM2)
     headers = [
         "Benchmark", "Half-Gate%", "Crossbar%", "SRAM%", "Others%",
@@ -455,15 +448,10 @@ def fig9_energy(
     rows: List[List[Any]] = []
     efficiencies: List[float] = []
     for name in _workload_names(quick):
-        built = WORKLOADS[name].build_scaled()
-        compiled = compile_circuit(
-            built.circuit, config.window, config.n_ges,
-            opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
-        )
-        sim = simulate(compiled.streams, config)
+        sim = provider.sim_point(name, config, OptLevel.RO_RN_ESW)
         energy = energy_model(sim, config)
         shares = energy.normalized()
-        cpu_time = cpu.eval_time_for(built.circuit)
+        cpu_time = provider.cpu_time(name)
         eff = energy.efficiency_vs_cpu(cpu_time)
         efficiencies.append(eff)
         rows.append([
@@ -495,30 +483,24 @@ def fig9_energy(
 
 
 def fig10_plaintext(
-    quick: bool = False, cpu: CpuCostModel = DEFAULT_CPU
+    quick: bool = False, provider: Optional[DataProvider] = None
 ) -> ExperimentResult:
     """GC slowdown relative to plaintext: CPU GC, HAAC DDR4, HAAC HBM2."""
+    provider = _provider(provider)
     headers = ["Benchmark", "CPU GC", "HAAC DDR4", "HAAC HBM2"]
     rows: List[List[Any]] = []
     slowdowns: Dict[str, List[float]] = {"cpu": [], "ddr4": [], "hbm2": []}
     integer_hbm2: List[float] = []
     for name in _workload_names(quick):
-        workload = WORKLOADS[name]
-        built = workload.build_scaled()
-        plain = DEFAULT_PLAINTEXT.time_for(workload)
-        cpu_time = cpu.eval_time_for(built.circuit)
+        plain = provider.plaintext_time(name)
+        cpu_time = provider.cpu_time(name)
         haac_times: Dict[str, float] = {}
         for label, dram in (("ddr4", DDR4), ("hbm2", HBM2)):
             config = _scaled_config(dram=dram)
-            best = None
-            for opt in (OptLevel.RO_RN_ESW, OptLevel.SEG_RN_ESW):
-                compiled = compile_circuit(
-                    built.circuit, config.window, config.n_ges,
-                    opt=opt, params=config.schedule_params(),
-                )
-                runtime = simulate(compiled.streams, config).runtime_s
-                best = runtime if best is None else min(best, runtime)
-            haac_times[label] = best
+            haac_times[label] = min(
+                provider.sim_point(name, config, opt).runtime_s
+                for opt in (OptLevel.RO_RN_ESW, OptLevel.SEG_RN_ESW)
+            )
         row = [
             name,
             cpu_time / plain,

@@ -1,0 +1,167 @@
+"""``repro bench protocol`` -- two-party session latency.
+
+Times complete ``TwoPartySession`` runs -- OT handshake, garbling,
+table transfer, evaluation, output sharing -- in both drive modes on
+the same circuit and seed:
+
+* ``monolithic`` -- :meth:`TwoPartySession.run` over the perfect
+  in-memory channel (tables ship as one message after garbling ends);
+* ``streamed`` -- :meth:`TwoPartySession.run_streamed` over the framed
+  transport (one CRC-checked table block per AND level, transcript
+  digests, the fault-injection machinery armed but empty).
+
+The headline metric is ``first_level_speedup``: how much sooner the
+Evaluator holds (and has evaluated) the first AND level's tables under
+streaming than it would have held *anything* under the monolithic
+exchange.  Merges into ``BENCH_throughput.json`` under
+``"protocol" -> "streaming"`` (sub-schema ``repro.bench_protocol/v1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, Optional, Sequence
+
+from ..circuits.builder import CircuitBuilder
+from ..circuits.netlist import GateOp
+from ..circuits.stdlib.integer import add, less_than, mul
+from ..gc.protocol import TwoPartySession
+from .runner import BenchRunner, add_common_arguments
+
+HELP = "two-party session latency: level-streamed vs monolithic"
+DEFAULT_OUT = "BENCH_throughput.json"
+FULL_REPEATS = 3
+
+PROTOCOL_SCHEMA = "repro.bench_protocol/v1"
+
+
+def quick_circuit():
+    builder = CircuitBuilder()
+    xs = builder.add_garbler_inputs(8)
+    ys = builder.add_evaluator_inputs(8)
+    builder.mark_outputs(add(builder, xs, ys))
+    builder.mark_outputs(mul(builder, xs, ys))
+    builder.mark_outputs([less_than(builder, xs, ys)])
+    return builder.build("mixed8")
+
+
+def full_circuit():
+    from ..circuits.stdlib.aes_circuit import build_aes128_circuit
+
+    return build_aes128_circuit()
+
+
+def session_bits(circuit):
+    garbler = [(i ^ 1) & 1 for i in range(circuit.n_garbler_inputs)]
+    evaluator = [i & 1 for i in range(circuit.n_evaluator_inputs)]
+    return garbler, evaluator
+
+
+def _best_of(repeats, fn):
+    best_seconds = None
+    best_value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+            best_value = value
+    return best_seconds, best_value
+
+
+def measure_protocol(quick: bool = False, repeats: int = 3) -> dict:
+    """Benchmark both drive modes; returns the ``"protocol"`` section."""
+    circuit = quick_circuit() if quick else full_circuit()
+    garbler_bits, evaluator_bits = session_bits(circuit)
+    and_gates = sum(1 for gate in circuit.gates if gate.op is GateOp.AND)
+    and_levels = sum(
+        1 for ands, _ in circuit.and_level_schedule() if ands
+    )
+
+    def monolithic():
+        return TwoPartySession(circuit, seed=7, backend="auto").run(
+            garbler_bits, evaluator_bits
+        )
+
+    def streamed():
+        return TwoPartySession(circuit, seed=7, backend="auto").run_streamed(
+            garbler_bits, evaluator_bits
+        )
+
+    mono_seconds, mono = _best_of(repeats, monolithic)
+    streamed_seconds, stream = _best_of(repeats, streamed)
+    if mono.output_bits != stream.output_bits:
+        raise AssertionError(
+            "streamed and monolithic sessions disagree -- refusing to "
+            "report benchmark numbers for a broken protocol"
+        )
+
+    first_level_s = stream.first_level_s or streamed_seconds
+    return {
+        "schema": PROTOCOL_SCHEMA,
+        "streaming": {
+            "circuit": circuit.name,
+            "gates": len(circuit.gates),
+            "and_gates": and_gates,
+            "and_levels": and_levels,
+            "monolithic": {
+                "seconds": mono_seconds,
+                "and_gates_per_s": and_gates / mono_seconds,
+                "bytes": mono.total_bytes,
+            },
+            "streamed": {
+                "seconds": streamed_seconds,
+                "and_gates_per_s": and_gates / streamed_seconds,
+                "bytes": stream.total_bytes,
+                "first_level_s": first_level_s,
+                "framing_overhead": (
+                    streamed_seconds / mono_seconds if mono_seconds else 1.0
+                ),
+            },
+            # Time until the Evaluator has *evaluated* level 1 under
+            # streaming vs waiting out the entire monolithic exchange.
+            "first_level_speedup": mono_seconds / first_level_s,
+        },
+    }
+
+
+def render(section: Dict) -> str:
+    info = section["streaming"]
+    mono = info["monolithic"]
+    stream = info["streamed"]
+    return "\n".join([
+        f"circuit {info['circuit']}: {info['gates']} gates, "
+        f"{info['and_gates']} AND over {info['and_levels']} levels",
+        f"  monolithic: {mono['seconds'] * 1000:8.2f} ms "
+        f"({mono['and_gates_per_s']:,.0f} AND/s, {mono['bytes']:,} B)",
+        f"    streamed: {stream['seconds'] * 1000:8.2f} ms "
+        f"({stream['and_gates_per_s']:,.0f} AND/s, {stream['bytes']:,} B, "
+        f"{stream['framing_overhead']:.2f}x framing overhead)",
+        f" first level: {stream['first_level_s'] * 1000:8.2f} ms "
+        f"({info['first_level_speedup']:.1f}x sooner than the monolithic "
+        f"exchange completes)",
+    ])
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    pass
+
+
+def run(args: argparse.Namespace) -> int:
+    runner = BenchRunner.from_args(args)
+    section = measure_protocol(
+        quick=runner.quick, repeats=runner.repeats(FULL_REPEATS)
+    )
+    out_path = runner.merge_section(section, key="protocol")
+    print(render(section))
+    print(f"wrote {out_path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_common_arguments(parser, DEFAULT_OUT)
+    add_arguments(parser)
+    return run(parser.parse_args(argv))

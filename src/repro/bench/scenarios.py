@@ -1,0 +1,431 @@
+"""``repro bench scenarios`` -- queue x bandwidth scenario scan.
+
+The ROADMAP's design-space question: how much queue SRAM does the
+decoupling claim actually need, and where does each workload flip from
+compute- to memory-bound as the streaming bandwidth scales?  Each
+workload compiles once; the *batched config axis* then retires the
+whole grid in roughly one replay (``coupled_runtime_batch`` +
+``simulate_batch``), bit-identical to the serial loop (cross-checked by
+default).
+
+With ``--store``, every grid point is also written to the
+content-addressed :class:`repro.store.ResultStore`, keyed on the
+program digest (:func:`repro.core.progcache.compile_key` -- netlist,
+design point, compiler schema), the config signature of the exact
+variant simulated, and a per-point bench schema that carries the sweep
+coordinate.  A warm second run finds every point of a workload in the
+store and performs **zero compiles and zero replays** for it -- the
+section's ``store`` block records ``replayed``/``cached`` counts so the
+resume property is checkable.  Resume granularity is the workload: the
+batched axis retires a whole grid in ~one replay, so re-running a
+partially-cached workload costs one batch, not one replay per missing
+point.  The serial cross-check only runs on live computes (there is
+nothing to check a cached point against).
+
+Results land in ``BENCH_scenarios.json`` (schema
+``repro.bench_scenarios/v2``), a standalone artifact next to
+``BENCH_throughput.json``; ``repro scenarios`` renders it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.scenarios import summarize_sweeps
+from ..core.compiler import OptLevel, compile_circuit
+from ..core.progcache import compile_key
+from ..sim.config import HaacConfig
+from ..sim.coupled import coupled_runtime, coupled_runtime_batch
+from ..sim.dram import DramSpec
+from ..sim.engine import engine_mode
+from ..sim.timing import simulate, simulate_batch
+from ..store import ResultStore, config_signature
+from ..workloads import get_workload
+from .runner import BenchRunner, add_common_arguments
+
+HELP = "queue-size x DRAM-bandwidth scenario scan (store-resumable)"
+DEFAULT_OUT = "BENCH_scenarios.json"
+
+SCENARIOS_SCHEMA = "repro.bench_scenarios/v2"
+
+#: Per-point bench schemas for the ResultStore.  The queue schema
+#: carries the sweep coordinate (queue bytes are not a HaacConfig field,
+#: so they cannot ride in the config signature).
+META_SCHEMA = "repro.scenario_meta/v1"
+DECOUPLED_SCHEMA = "repro.scenario_decoupled/v1"
+BANDWIDTH_SCHEMA = "repro.scenario_bandwidth/v1"
+
+
+def queue_schema(queue_bytes: int) -> str:
+    return f"repro.scenario_queue/v1?bytes={queue_bytes}"
+
+
+DEFAULT_WORKLOADS = "ReLU,Hamm,MatMult"
+DEFAULT_QUEUES = "64,256,1024,4096,16384,65536"
+#: GB/s grid: half/quarter DDR4-4400 through 2x HBM2.
+DEFAULT_BANDWIDTHS = "8.8,17.6,35.2,70.4,140.8,512,1024"
+
+#: Small builds for the smoke lane (full scaled builds otherwise).
+QUICK_PARAMS = {
+    "ReLU": {"k": 32, "width": 8},
+    "Hamm": {"n_bits": 256},
+    "MatMult": {"n": 2, "width": 8},
+    "GradDesc": {"n_points": 2, "rounds": 1},
+    "DotProd": {"n": 4, "width": 8},
+    "Triangle": {"n": 8},
+    "BubbSt": {"n": 4, "width": 8},
+    "Merse": {"state_n": 4, "state_m": 2, "n_outputs": 4},
+}
+
+
+def _dram_specs(bandwidths: List[float]) -> List[DramSpec]:
+    return [
+        DramSpec(name=f"{gb_s:g}GB/s", bandwidth_gb_s=gb_s)
+        for gb_s in bandwidths
+    ]
+
+
+def summary_lines(section: dict, queues: List[int],
+                  bandwidths: List[float]) -> "tuple[str, str]":
+    """Human-readable knee/flip phrases, explicit when not reached."""
+    summary = section["summary"]
+    knee = summary["queue_knee_bytes_per_ge"]
+    flip = summary["compute_bound_from_gb_s"]
+    if knee is not None:
+        knee_text = f"decoupled within 1% at {knee}B/GE queue"
+    elif queues:
+        knee_text = (
+            f"decoupled within 1% not reached in sweep (max {max(queues)}B/GE)"
+        )
+    else:
+        knee_text = "decoupled within 1% not measured (no queue points)"
+    if flip is not None:
+        flip_text = f"compute-bound from {flip:g} GB/s"
+    elif bandwidths:
+        flip_text = (
+            f"compute-bound not reached in sweep (max {max(bandwidths):g} GB/s)"
+        )
+    else:
+        flip_text = "compute-bound not measured (no bandwidth points)"
+    return knee_text, flip_text
+
+
+def _load_cached_section(
+    store: ResultStore,
+    digest: str,
+    config: HaacConfig,
+    queues: List[int],
+    specs: List[DramSpec],
+    built,
+) -> Optional[dict]:
+    """The whole workload section from the store, or None on any miss."""
+    sig = config_signature(config)
+    meta = store.get(digest, sig, META_SCHEMA)
+    decoupled = store.get(digest, sig, DECOUPLED_SCHEMA)
+    if meta is None or decoupled is None:
+        return None
+    queue_sweep = []
+    for queue_bytes in queues:
+        point = store.get(digest, sig, queue_schema(queue_bytes))
+        if point is None:
+            return None
+        queue_sweep.append({"queue_bytes_per_ge": queue_bytes, **point})
+    bandwidth_sweep = []
+    for spec in specs:
+        point = store.get(
+            digest, config_signature(config.with_dram(spec)), BANDWIDTH_SCHEMA
+        )
+        if point is None:
+            return None
+        bandwidth_sweep.append(
+            {"dram": spec.name, "gb_s": spec.bandwidth_gb_s, **point}
+        )
+    scenarios = 1 + len(queues) + len(specs)
+    return {
+        "params": dict(built.params),
+        "gates": len(built.circuit.gates),
+        "instructions": meta["instructions"],
+        "decoupled_cycles": decoupled["runtime_cycles"],
+        "compile_seconds": 0.0,
+        "sweep_seconds": 0.0,
+        "queue_sweep": queue_sweep,
+        "bandwidth_sweep": bandwidth_sweep,
+        "summary": summarize_sweeps(queue_sweep, bandwidth_sweep, scenarios),
+        "store": {"cached": scenarios, "replayed": 0},
+    }
+
+
+def scan_workload(
+    name: str,
+    config: HaacConfig,
+    queues: List[int],
+    bandwidths: List[float],
+    quick: bool,
+    cache,
+    compare_serial: bool = True,
+    store: Optional[ResultStore] = None,
+) -> dict:
+    """One workload's scenario grid: store-served, or one batched pass."""
+    workload = get_workload(name)
+    if quick and name in QUICK_PARAMS:
+        built = workload.build(**QUICK_PARAMS[name])
+    else:
+        built = workload.build_scaled()
+    specs = _dram_specs(bandwidths)
+    digest = None
+    if store is not None:
+        # The program digest needs only the netlist + design point -- no
+        # compile -- so a fully-cached workload costs circuit build +
+        # store reads and nothing else.
+        digest = compile_key(
+            built.circuit, config.window.capacity, config.n_ges,
+            OptLevel.RO_RN_ESW, config.schedule_params(),
+        )
+        cached = _load_cached_section(
+            store, digest, config, queues, specs, built
+        )
+        if cached is not None:
+            return cached
+
+    start = time.perf_counter()
+    compiled = compile_circuit(
+        built.circuit, config.window, config.n_ges,
+        opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+        cache=cache,
+    )
+    compile_seconds = time.perf_counter() - start
+    streams = compiled.streams
+    # The decoupled baseline is a simulated scenario too -- count it, so
+    # per-scenario timing claims include every replay the sweep pays for.
+    scenarios = 1 + len(queues) + len(bandwidths)
+
+    # Throwaway replay to materialise the level partition / NumPy plan
+    # (memoized on the stream set) before either timed region: sweeps
+    # amortise that one-time cost, and both the batched grid and the
+    # serial rerun below then measure steady-state sweep time.
+    simulate(streams, config)
+
+    # Batched grid: one coupled_runtime_batch over every queue size, one
+    # simulate_batch over every bandwidth point (the compute replay
+    # dedupes to a single row -- bandwidth never enters the compute
+    # recurrence), plus the decoupled baseline.
+    start = time.perf_counter()
+    decoupled = simulate(streams, config)
+    queue_points = coupled_runtime_batch(
+        streams, config, queues, decoupled=decoupled
+    )
+    bandwidth_sims = simulate_batch(streams, config.variants(dram=specs))
+    sweep_seconds = time.perf_counter() - start
+
+    serial_seconds = None
+    if compare_serial:
+        # The per-point loop, retimed for the before/after record --
+        # and cross-checked: every grid point must agree bit-for-bit.
+        start = time.perf_counter()
+        serial_decoupled = simulate(streams, config)
+        serial_queue = [
+            coupled_runtime(streams, config, queue_bytes)
+            for queue_bytes in queues
+        ]
+        serial_bandwidth = [
+            simulate(streams, config.with_dram(spec)) for spec in specs
+        ]
+        serial_seconds = time.perf_counter() - start
+        assert serial_decoupled.runtime_cycles == decoupled.runtime_cycles
+        assert [(p.cycles, p.stall_cycles) for p in serial_queue] == [
+            (p.cycles, p.stall_cycles) for p in queue_points
+        ], f"{name}: batched queue sweep diverged from the serial loop"
+        assert [
+            (s.compute_cycles, s.traffic_cycles, s.stalls.as_dict())
+            for s in serial_bandwidth
+        ] == [
+            (s.compute_cycles, s.traffic_cycles, s.stalls.as_dict())
+            for s in bandwidth_sims
+        ], f"{name}: batched bandwidth sweep diverged from the serial loop"
+
+    queue_sweep = [
+        {
+            "queue_bytes_per_ge": queue_bytes,
+            "cycles": point.cycles,
+            "stall_cycles": point.stall_cycles,
+            "slowdown_vs_decoupled": point.slowdown_vs_decoupled,
+        }
+        for queue_bytes, point in zip(queues, queue_points)
+    ]
+    bandwidth_sweep = [
+        {
+            "dram": spec.name,
+            "gb_s": spec.bandwidth_gb_s,
+            "runtime_cycles": sim.runtime_cycles,
+            "compute_cycles": sim.compute_cycles,
+            "traffic_cycles": sim.traffic_cycles,
+            "memory_bound": sim.memory_bound,
+        }
+        for spec, sim in zip(specs, bandwidth_sims)
+    ]
+
+    section = {
+        "params": dict(built.params),
+        "gates": len(built.circuit.gates),
+        "instructions": len(streams.program.instructions),
+        "decoupled_cycles": decoupled.runtime_cycles,
+        "compile_seconds": compile_seconds,
+        "sweep_seconds": sweep_seconds,
+        "queue_sweep": queue_sweep,
+        "bandwidth_sweep": bandwidth_sweep,
+        "summary": summarize_sweeps(queue_sweep, bandwidth_sweep, scenarios),
+    }
+    if serial_seconds is not None:
+        section["serial_sweep_seconds"] = serial_seconds
+        section["batched_speedup"] = (
+            serial_seconds / sweep_seconds if sweep_seconds else float("inf")
+        )
+    if store is not None:
+        sig = config_signature(config)
+        store.put(
+            digest, sig, META_SCHEMA,
+            {"instructions": len(streams.program.instructions)},
+        )
+        store.put(
+            digest, sig, DECOUPLED_SCHEMA,
+            {"runtime_cycles": decoupled.runtime_cycles},
+        )
+        for entry in queue_sweep:
+            payload = {k: v for k, v in entry.items()
+                       if k != "queue_bytes_per_ge"}
+            store.put(
+                digest, sig, queue_schema(entry["queue_bytes_per_ge"]),
+                payload,
+            )
+        for spec, entry in zip(specs, bandwidth_sweep):
+            payload = {k: v for k, v in entry.items()
+                       if k not in ("dram", "gb_s")}
+            store.put(
+                digest, config_signature(config.with_dram(spec)),
+                BANDWIDTH_SCHEMA, payload,
+            )
+        section["store"] = {"cached": 0, "replayed": scenarios}
+    return section
+
+
+def measure_scenarios(
+    workloads: Sequence[str],
+    queues: List[int],
+    bandwidths: List[float],
+    config: HaacConfig,
+    quick: bool = False,
+    cache=None,
+    compare_serial: bool = True,
+    store: Optional[ResultStore] = None,
+) -> Dict:
+    """The full BENCH_scenarios.json report (all workload sections)."""
+    report = {
+        "schema": SCENARIOS_SCHEMA,
+        "engine": engine_mode(),
+        "config": {
+            "n_ges": config.n_ges,
+            "sww_bytes": config.sww_bytes,
+            "quick": quick,
+            "serial_compared": compare_serial,
+        },
+        "workloads": {},
+    }
+    for name in workloads:
+        report["workloads"][name] = scan_workload(
+            name, config, queues, bandwidths, quick, cache,
+            compare_serial=compare_serial, store=store,
+        )
+    return report
+
+
+def render_workload_line(
+    name: str, section: dict, queues: List[int], bandwidths: List[float]
+) -> str:
+    knee_text, flip_text = summary_lines(section, queues, bandwidths)
+    line = (
+        f"{name:>9}: {section['instructions']:>7} instrs, "
+        f"compile {section['compile_seconds'] * 1000:7.1f} ms, "
+        f"{section['summary']['scenarios']} scenarios in "
+        f"{section['sweep_seconds'] * 1000:7.1f} ms"
+    )
+    if "batched_speedup" in section:
+        line += (
+            f" (serial {section['serial_sweep_seconds'] * 1000:7.1f} ms, "
+            f"batched {section['batched_speedup']:.1f}x)"
+        )
+    if "store" in section:
+        counts = section["store"]
+        line += f" [store: {counts['cached']} cached, {counts['replayed']} replayed]"
+    return f"{line} | {knee_text}, {flip_text}"
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workloads",
+        default=DEFAULT_WORKLOADS,
+        help=f"comma-separated workload names (default: {DEFAULT_WORKLOADS})",
+    )
+    parser.add_argument(
+        "--queues",
+        default=DEFAULT_QUEUES,
+        help="comma-separated queue_bytes_per_ge sweep "
+        f"(default: {DEFAULT_QUEUES})",
+    )
+    parser.add_argument(
+        "--bandwidths",
+        default=DEFAULT_BANDWIDTHS,
+        help="comma-separated DRAM bandwidths in GB/s "
+        f"(default: {DEFAULT_BANDWIDTHS})",
+    )
+    parser.add_argument(
+        "--no-serial",
+        action="store_true",
+        help="skip the serial per-point rerun (faster, but the artifact "
+        "loses the before/after sweep_seconds context)",
+    )
+    parser.add_argument(
+        "--ges", type=int, default=4, help="gate engines (default: 4)"
+    )
+    parser.add_argument(
+        "--sww-kb", type=int, default=16, help="SWW size in KB (default: 16)"
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=True,
+        default=None,
+        help="persistent compile cache: flag alone for the default "
+        "directory, or a path (default: $REPRO_PROG_CACHE)",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    runner = BenchRunner.from_args(args)
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    queues = [int(q) for q in args.queues.split(",") if q.strip()]
+    bandwidths = [float(b) for b in args.bandwidths.split(",") if b.strip()]
+    if not workloads:
+        raise SystemExit("need at least one workload")
+
+    config = HaacConfig(n_ges=args.ges, sww_bytes=args.sww_kb * 1024)
+    # Serial cross-check only applies to live computes; a store-served
+    # workload has nothing to re-run it against.
+    report = measure_scenarios(
+        workloads, queues, bandwidths, config,
+        quick=runner.quick, cache=args.cache,
+        compare_serial=not args.no_serial, store=runner.store,
+    )
+    for name, section in report["workloads"].items():
+        print(render_workload_line(name, section, queues, bandwidths))
+    out_path = runner.write_artifact(report)
+    print(f"wrote {out_path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_common_arguments(parser, DEFAULT_OUT, store=True)
+    add_arguments(parser)
+    return run(parser.parse_args(argv))

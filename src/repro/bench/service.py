@@ -1,0 +1,154 @@
+"""``repro bench service`` -- concurrent-session multiplexer throughput.
+
+Submits N identical level-streamed sessions (same circuit, seed and
+inputs) to :class:`repro.serve.SessionMultiplexer` and drives them to
+completion on the cooperative scheduler, then asserts every concurrent
+result -- output bits *and* transcript digest -- is bit-identical to a
+solo ``run_streamed`` of the same session before reporting any numbers:
+throughput figures for a protocol that corrupts under concurrency are
+worthless.  Merges into ``BENCH_throughput.json`` under ``"service"``
+(sub-schema ``repro.bench_service/v1``).  A single service run is
+timed (``--repeats`` is accepted for flag uniformity but unused -- the
+multiplexer percentiles already aggregate many sessions).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Optional, Sequence
+
+from ..gc.protocol import TwoPartySession
+from ..serve import SessionMultiplexer
+from .runner import BenchRunner, add_common_arguments
+from .protocol import full_circuit, quick_circuit, session_bits
+
+HELP = "concurrent-session service throughput through the multiplexer"
+DEFAULT_OUT = "BENCH_throughput.json"
+
+SERVICE_SCHEMA = "repro.bench_service/v1"
+
+
+def measure_service(
+    quick: bool = False,
+    sessions: Optional[int] = None,
+    concurrency: int = 4,
+    window: int = 1,
+) -> dict:
+    """Benchmark the multiplexer; returns the ``"service"`` section."""
+    circuit = quick_circuit() if quick else full_circuit()
+    if sessions is None:
+        sessions = 8 if quick else 4
+    garbler_bits, evaluator_bits = session_bits(circuit)
+
+    # Ground truth: the same session, solo.
+    solo = TwoPartySession(circuit, seed=7, backend="auto").run_streamed(
+        garbler_bits, evaluator_bits
+    )
+
+    mux = SessionMultiplexer(
+        max_concurrent=concurrency,
+        max_pending=max(0, sessions - concurrency),
+        max_inflight_levels=window,
+    )
+    handles = [
+        mux.submit(
+            TwoPartySession(circuit, seed=7, backend="auto"),
+            garbler_bits,
+            evaluator_bits,
+            session_id=f"s{index}",
+        )
+        for index in range(sessions)
+    ]
+    stats = mux.run_until_complete()
+
+    for handle in handles:
+        if handle.result is None:
+            raise AssertionError(
+                f"session {handle.session_id} failed under concurrency: "
+                f"{handle.error!r}"
+            )
+        if handle.result.output_bits != solo.output_bits:
+            raise AssertionError(
+                f"session {handle.session_id} output diverged from the "
+                "solo run -- refusing to report benchmark numbers for a "
+                "protocol that corrupts under concurrency"
+            )
+        if handle.result.transcript_digest != solo.transcript_digest:
+            raise AssertionError(
+                f"session {handle.session_id} transcript diverged from "
+                "the solo run under concurrency"
+            )
+
+    summary = stats.summary()
+    return {
+        "schema": SERVICE_SCHEMA,
+        "concurrent": {
+            "circuit": circuit.name,
+            "sessions": sessions,
+            "concurrency": concurrency,
+            "window": window,
+            "bit_identical_to_solo": True,
+            "wall_s": summary["wall_s"],
+            "sessions_per_s": summary["sessions_per_s"],
+            "levels_per_s_mean": summary["levels_per_s_mean"],
+            "first_level_p50_s": summary["first_level_p50_s"],
+            "first_level_p95_s": summary["first_level_p95_s"],
+            "queue_wait_p50_s": summary["queue_wait_p50_s"],
+            "queue_wait_p95_s": summary["queue_wait_p95_s"],
+        },
+    }
+
+
+def render(section: Dict) -> str:
+    info = section["concurrent"]
+    return "\n".join([
+        f"circuit {info['circuit']}: {info['sessions']} sessions on "
+        f"{info['concurrency']} slots (window {info['window']}), all "
+        "bit-identical to solo",
+        f"  throughput: {info['sessions_per_s']:.1f} sessions/s, "
+        f"{info['levels_per_s_mean']:.0f} levels/s per session, "
+        f"{info['wall_s'] * 1000:.1f} ms wall",
+        f" first level: p50 {info['first_level_p50_s'] * 1000:.1f} ms, "
+        f"p95 {info['first_level_p95_s'] * 1000:.1f} ms",
+        f"  queue wait: p50 {info['queue_wait_p50_s'] * 1000:.2f} ms, "
+        f"p95 {info['queue_wait_p95_s'] * 1000:.2f} ms",
+    ])
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        help="sessions to serve (default: 4, or 8 with --quick)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=4, help="scheduler slots"
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=1,
+        help="max in-flight AND levels per session",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    runner = BenchRunner.from_args(args)
+    section = measure_service(
+        quick=runner.quick,
+        sessions=args.sessions,
+        concurrency=args.concurrency,
+        window=args.window,
+    )
+    out_path = runner.merge_section(section, key="service")
+    print(render(section))
+    print(f"wrote {out_path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_common_arguments(parser, DEFAULT_OUT)
+    add_arguments(parser)
+    return run(parser.parse_args(argv))

@@ -1,0 +1,144 @@
+"""``repro bench throughput`` -- garbling/evaluation gates-per-second.
+
+Measures the scalar reference and the batched NumPy backend on a stdlib
+circuit, plus the ``parallel`` backend's worker-scaling curve (the
+software analogue of the paper's GE-scaling figure).  The single source
+of truth for both the CLI suite and the pytest-benchmark harness in
+``benchmarks/bench_throughput.py`` -- the measurement itself lives in
+:mod:`repro.gc.backends.throughput`; this module owns circuit/repeat
+selection, report assembly and rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from ..gc.backends.throughput import (
+    BENCH_CIRCUITS,
+    build_bench_circuit,
+    measure_parallel_scaling,
+    measure_throughput,
+)
+from .runner import BenchRunner, add_common_arguments
+
+HELP = "garbling/evaluation throughput per label-hash backend"
+DEFAULT_OUT = "BENCH_throughput.json"
+FULL_REPEATS = 2
+
+
+def bench_circuit_name(name: str, quick: bool) -> str:
+    """``--quick`` downgrades the default AES-128 to the small mixed circuit."""
+    return "mixed8" if quick and name == "aes128" else name
+
+
+def parse_workers(spec: str) -> Optional[List[int]]:
+    """'1,2,4' -> counts; '', 'none', '0' -> None (skip the sweep)."""
+    if spec.strip().lower() in ("", "none", "0"):
+        return None
+    return [int(token) for token in spec.split(",") if token.strip()]
+
+
+def measure(
+    runner: BenchRunner,
+    circuit_name: str = "aes128",
+    backends: Sequence[str] = ("scalar", "numpy"),
+    worker_counts: Optional[Sequence[int]] = (1, 2, 4),
+) -> Dict:
+    """The full throughput report (schema ``repro.bench_throughput/v1``)."""
+    repeats = runner.repeats(FULL_REPEATS)
+    circuit = build_bench_circuit(
+        bench_circuit_name(circuit_name, runner.quick)
+    )
+    report = measure_throughput(
+        circuit, backends=list(backends), repeats=repeats
+    )
+    if worker_counts:
+        report["parallel"] = measure_parallel_scaling(
+            circuit, worker_counts=list(worker_counts), repeats=repeats
+        )
+    return report
+
+
+def render(report: Dict) -> str:
+    info = report["circuit"]
+    lines = [
+        f"circuit {info['name']}: {info['gates']} gates "
+        f"({info['and_gates']} AND, {info['levels']} levels)"
+    ]
+    for name, entry in report["backends"].items():
+        garble = entry["garble"]
+        evaluate = entry["evaluate"]
+        lines.append(
+            f"  {name:>8}: garble {garble['gates_per_s']:>12,.0f} gates/s "
+            f"({garble['seconds']:.3f}s)  evaluate "
+            f"{evaluate['gates_per_s']:>12,.0f} gates/s ({evaluate['seconds']:.3f}s)"
+        )
+    for name, speedup in report["speedup_vs_scalar"].items():
+        lines.append(
+            f"  {name} vs scalar: {speedup['garble']:.1f}x garble, "
+            f"{speedup['evaluate']:.1f}x evaluate"
+        )
+    for entry in report["skipped"]:
+        lines.append(f"  skipped {entry['backend']}: {entry['reason']}")
+    scaling = report.get("parallel")
+    if scaling:
+        lines.append(
+            f"parallel scaling (inner={scaling['inner']}, "
+            f"{scaling['cpu_count']} cores visible):"
+        )
+        for workers, entry in scaling["workers"].items():
+            garble = entry["garble"]
+            speedup = scaling["speedup_vs_1"].get(workers, {}).get("garble")
+            suffix = f"  ({speedup:.2f}x vs 1 worker)" if speedup else ""
+            lines.append(
+                f"  {workers:>2} workers: garble "
+                f"{garble['gates_per_s']:>12,.0f} gates/s{suffix}"
+            )
+        for workers, reason in scaling["pool_fallbacks"].items():
+            lines.append(f"  {workers} workers fell back to serial: {reason}")
+    return "\n".join(lines)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--circuit",
+        default="aes128",
+        choices=sorted(BENCH_CIRCUITS),
+        help="stdlib circuit to garble (default: aes128)",
+    )
+    parser.add_argument(
+        "--backends",
+        default="scalar,numpy",
+        help="comma-separated backend names (default: scalar,numpy)",
+    )
+    parser.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker counts for the parallel-backend "
+        "scaling sweep, or 'none' to skip it (default: 1,2,4)",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    runner = BenchRunner.from_args(args)
+    backends = [
+        name.strip() for name in args.backends.split(",") if name.strip()
+    ]
+    report = measure(
+        runner,
+        circuit_name=args.circuit,
+        backends=backends,
+        worker_counts=parse_workers(args.workers),
+    )
+    out_path = runner.merge_section(report, key=None)
+    print(render(report))
+    print(f"wrote {out_path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_common_arguments(parser, DEFAULT_OUT)
+    add_arguments(parser)
+    return run(parser.parse_args(argv))

@@ -12,11 +12,18 @@ Subcommands:
   scheduler and report per-session service metrics;
 * ``cache``       -- inspect, prune or clear the persistent compile cache;
 * ``scenarios``   -- render the scenario-grid artifact (queue-SRAM knee /
-  memory-bound flip table + ASCII sweep charts).
+  memory-bound flip table + ASCII sweep charts);
+* ``bench``       -- run one of the benchmark suites (throughput / sim /
+  protocol / service / scenarios) through the shared BenchRunner;
+* ``store``       -- inspect, prune, merge or bundle the content-addressed
+  experiment result store.
 
 ``compile`` and ``simulate`` accept ``--cache [DIR]`` to reuse compiled
 programs across invocations (warm sweeps skip the compiler); the
 ``REPRO_PROG_CACHE`` environment variable does the same globally.
+``experiments``/``figures`` accept ``--store [DIR]`` (or
+``REPRO_RESULT_STORE``) to serve previously-computed grid points from
+the content-addressed result store instead of recompiling/replaying.
 """
 
 from __future__ import annotations
@@ -67,6 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument(
         "--quick", action="store_true", help="3-workload subset where supported"
+    )
+    p_exp.add_argument(
+        "--store",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store: flag alone for the default "
+        "directory, or DIR; cached design points are served without "
+        "recompiling/replaying (default: $REPRO_RESULT_STORE)",
     )
 
     p_wl = sub.add_parser("workloads", help="list or inspect workloads")
@@ -242,20 +259,94 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_f = sub.add_parser(
-        "figures", help="ASCII renderings of the evaluation figures"
+        "figures",
+        help="ASCII renderings of the evaluation figures, or --emit DIR "
+        "for version-controlled Vega-Lite JSON + CSV of every artifact",
     )
+    # No argparse choices= here: a positional with nargs="*" plus
+    # choices rejects the empty (default) invocation; validated in
+    # _cmd_figures instead.
     p_f.add_argument(
         "which",
         nargs="*",
-        default=["fig6", "fig10"],
-        choices=["fig6", "fig8", "fig9", "fig10"],
-        help="figures to draw (default: fig6 fig10)",
+        default=None,
+        help=f"artifacts to render ({', '.join(_EXPERIMENTS)}; ASCII "
+        "default: fig6 fig10, fig6/fig8/fig9/fig10 only; --emit "
+        "default: all)",
     )
     p_f.add_argument("--full", action="store_true", help="all 8 workloads")
+    p_f.add_argument(
+        "--emit",
+        default=None,
+        metavar="DIR",
+        help="write <name>.csv for every table/figure and <name>.vl.json "
+        "for the figures into DIR instead of drawing ASCII charts",
+    )
+    p_f.add_argument(
+        "--store",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store backing the DataProvider "
+        "(default: $REPRO_RESULT_STORE)",
+    )
+
+    p_b = sub.add_parser(
+        "bench",
+        help="run one benchmark suite (throughput / sim / protocol / "
+        "service / scenarios) through the shared BenchRunner",
+    )
+    from .bench import add_bench_subparsers
+
+    add_bench_subparsers(p_b)
+
+    p_st = sub.add_parser(
+        "store",
+        help="inspect, prune, merge or bundle the content-addressed "
+        "experiment result store",
+    )
+    p_st.add_argument(
+        "action",
+        choices=["info", "prune", "clear", "merge", "bundle"],
+        nargs="?",
+        default="info",
+        help="info: census incl. stale-schema entries; prune: delete "
+        "stale-schema/corrupt entries only; clear: delete everything; "
+        "merge: fold another store dir or bundle file in; bundle: "
+        "export live entries as one JSON file",
+    )
+    p_st.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="merge: source store directory or bundle file; "
+        "bundle: output file path",
+    )
+    p_st.add_argument(
+        "--dir",
+        default=None,
+        help="store directory (default: $REPRO_RESULT_STORE or "
+        "~/.cache/repro/resultstore)",
+    )
+    p_st.add_argument(
+        "--policy",
+        choices=["keep", "theirs"],
+        default="keep",
+        help="merge conflict policy: keep local entries (default) or "
+        "adopt the source's",
+    )
     return parser
 
 
+#: Drivers that read design points through a DataProvider (everything
+#: except the static table1 and the analytic table4).
+_PROVIDER_CAPABLE = set(_EXPERIMENTS) - {"table1", "table4"}
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .analysis.dataprovider import DataProvider
+
     which: List[str] = args.which
     if which == ["all"]:
         which = list(_EXPERIMENTS)
@@ -263,12 +354,18 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
+    # One provider across the run: design points shared between tables
+    # and figures compile/replay once, and --store serves repeat runs
+    # from disk.
+    provider = DataProvider(store=args.store)
     for name in which:
         fn = _EXPERIMENTS[name]
+        kwargs = {}
+        if name in _PROVIDER_CAPABLE:
+            kwargs["provider"] = provider
         if args.quick and name in _QUICK_CAPABLE:
-            result = fn(quick=True)
-        else:
-            result = fn()
+            kwargs["quick"] = True
+        result = fn(**kwargs)
         print(result.render())
         print()
     return 0
@@ -596,11 +693,43 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .analysis import charts
+    from .analysis.dataprovider import DataProvider
 
     quick = not args.full
-    for which in args.which:
+    unknown = [name for name in args.which or [] if name not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown figures: {unknown}", file=sys.stderr)
+        return 2
+    provider = DataProvider(store=args.store)
+    if args.emit is not None:
+        from pathlib import Path
+
+        from .analysis import figures as figures_mod
+
+        # argparse yields [] (not the default) for an absent nargs="*"
+        # positional; [] must mean "emit everything", not "nothing".
+        written = figures_mod.emit_all(
+            Path(args.emit),
+            provider=provider,
+            quick=quick,
+            only=args.which or None,
+        )
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    selected = args.which if args.which else ["fig6", "fig10"]
+    ascii_capable = {"fig6", "fig8", "fig9", "fig10"}
+    unsupported = [name for name in selected if name not in ascii_capable]
+    if unsupported:
+        print(
+            f"no ASCII rendering for {unsupported}; use --emit DIR "
+            "(or `repro experiments`) for tables",
+            file=sys.stderr,
+        )
+        return 2
+    for which in selected:
         if which == "fig6":
-            result = exp.fig6_compiler_opts(quick=quick)
+            result = exp.fig6_compiler_opts(quick=quick, provider=provider)
             groups = [
                 (row[0], [("Baseline", row[1]), ("RO+RN", row[2]),
                           ("RO+RN+ESW", row[3])])
@@ -610,7 +739,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                 groups, title="Figure 6: speedup over CPU (log scale)"
             ))
         elif which == "fig8":
-            result = exp.fig8_ge_scaling(quick=quick, ge_counts=(1, 4, 16))
+            result = exp.fig8_ge_scaling(
+                quick=quick, ge_counts=(1, 4, 16), provider=provider
+            )
             groups = []
             for name, by_dram in result.extras["scaling"].items():
                 series = []
@@ -622,7 +753,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                 groups, title="Figure 8: GE scaling (log scale)"
             ))
         elif which == "fig9":
-            result = exp.fig9_energy(quick=quick)
+            result = exp.fig9_energy(quick=quick, provider=provider)
             rows = [
                 (row[0], {
                     "Half-Gate": row[1] / 100, "Crossbar": row[2] / 100,
@@ -637,7 +768,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                 rows, title="Figure 9: energy breakdown", legend=legend
             ))
         elif which == "fig10":
-            result = exp.fig10_plaintext(quick=quick)
+            result = exp.fig10_plaintext(quick=quick, provider=provider)
             groups = [
                 (row[0], [("CPU GC", row[1]), ("HAAC DDR4", row[2]),
                           ("HAAC HBM2", row[3])])
@@ -651,6 +782,78 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import run_suite
+
+    return run_suite(args)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import (
+        STORE_SCHEMA,
+        ResultStore,
+        default_store_dir,
+        resolve_result_store,
+    )
+
+    if args.dir is not None:
+        store = ResultStore(args.dir)
+    else:
+        store = resolve_result_store(None) or ResultStore(default_store_dir())
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} stored results from {store.root}")
+        return 0
+    if args.action == "prune":
+        removed = store.prune()
+        freed_kb = (removed.stale_bytes + removed.corrupt_bytes) / 1024
+        print(
+            f"pruned {removed.stale} stale-schema and {removed.corrupt} "
+            f"corrupt entries from {store.root} ({freed_kb:.1f} KB freed)"
+        )
+        return 0
+    if args.action == "merge":
+        if args.path is None:
+            print(
+                "merge needs a source: a store directory or a bundle file",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            report = store.merge(args.path, policy=args.policy)
+        except (OSError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(
+            f"merged {args.path} into {store.root}: "
+            f"{report.added} added, {report.identical} identical, "
+            f"{report.conflicts} conflicts ({report.replaced} replaced), "
+            f"{report.corrupt} corrupt skipped"
+        )
+        return 0
+    if args.action == "bundle":
+        if args.path is None:
+            print("bundle needs an output file path", file=sys.stderr)
+            return 2
+        count = store.save_bundle(args.path)
+        print(f"bundled {count} entries from {store.root} into {args.path}")
+        return 0
+    census = store.scan()
+    rows = [
+        ["directory", str(store.root)],
+        ["schema", f"v{STORE_SCHEMA}"],
+        ["live entries", census.live],
+        ["live size (KB)", f"{census.live_bytes / 1024:.1f}"],
+        ["stale-schema entries", census.stale],
+        ["stale size (KB)", f"{census.stale_bytes / 1024:.1f}"],
+        ["corrupt entries", census.corrupt],
+    ]
+    print(render_table(["Property", "Value"], rows, title="result store"))
+    if census.stale or census.corrupt:
+        print("run `repro store prune` to delete stale/corrupt entries")
+    return 0
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "workloads": _cmd_workloads,
@@ -661,6 +864,8 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "scenarios": _cmd_scenarios,
     "figures": _cmd_figures,
+    "bench": _cmd_bench,
+    "store": _cmd_store,
 }
 
 

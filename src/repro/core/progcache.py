@@ -18,7 +18,11 @@ the circuit name (cached results carry the name into reports).  The
 digest is independent of Python hash randomization, so it is stable
 across process restarts; ``CACHE_SCHEMA`` is baked into every key so a
 compiler-behaviour change invalidates old entries by bumping one
-constant.
+constant.  The same digests key the content-addressed experiment
+result store (:mod:`repro.store`): because ``compile_key`` covers the
+netlist, the design point's compile-relevant parameters and the
+compiler schema, bumping ``CACHE_SCHEMA`` transitively orphans every
+stored downstream *result* too.
 
 Store location, in priority order:
 

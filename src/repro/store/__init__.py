@@ -1,0 +1,32 @@
+"""Content-addressed experiment result store.
+
+See :mod:`repro.store.resultstore` for the full contract.  The public
+surface is re-exported here so callers write ``from repro.store import
+ResultStore``.
+"""
+
+from .resultstore import (
+    STORE_ENV_VAR,
+    STORE_SCHEMA,
+    MergeReport,
+    ResultStore,
+    StoreScan,
+    StoreStats,
+    config_signature,
+    default_store_dir,
+    resolve_result_store,
+    result_key,
+)
+
+__all__ = [
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA",
+    "MergeReport",
+    "ResultStore",
+    "StoreScan",
+    "StoreStats",
+    "config_signature",
+    "default_store_dir",
+    "resolve_result_store",
+    "result_key",
+]
