@@ -24,11 +24,12 @@ Tracked metrics:
   ``protocol.streaming.first_level_speedup`` -- level-streamed vs
   monolithic two-party session latency (``bench_protocol.py``; AES-128
   at full scale, the mixed smoke circuit in the quick lane);
-* ``service.concurrent.sessions_per_s`` and
-  ``service.concurrent.levels_per_s_mean`` -- concurrent-session
-  throughput through the multiplexer (``bench_service.py``; every
-  session is asserted bit-identical to a solo run before any number is
-  reported, so these only exist for a correct service);
+* ``service.concurrent.{sessions_per_s,levels_per_s_mean}`` and
+  ``service.process.{sessions_per_s,levels_per_s_mean}`` --
+  concurrent-session throughput through the in-process multiplexer and
+  the out-of-process supervisor respectively (``repro bench service``;
+  every session is asserted bit-identical to a solo run before any
+  number is reported, so these only exist for a correct service);
 * ``parallel.workers.<N>.{garble,evaluate}.gates_per_s`` -- the
   worker-scaling curve, **only when the recorded ``cpu_count`` matches
   between baseline and current run**.  The curve's shape depends on the
@@ -114,14 +115,18 @@ def tracked_metrics(report: dict) -> dict:
     value = streaming.get("first_level_speedup")
     if value is not None:
         metrics["protocol.streaming.first_level_speedup"] = value
-    # Concurrent-session service (bench_service.py): multiplexed
-    # throughput.  Latency percentiles are recorded in the report but
+    # Concurrent-session service (repro bench service): multiplexed
+    # throughput in-process ("concurrent") and supervised out-of-process
+    # throughput ("process" -- one OS process per party under the
+    # supervisor).  Latency percentiles are recorded in the report but
     # not gated here -- this checker is higher-is-better only.
-    concurrent = report.get("service", {}).get("concurrent", {})
-    for key in ("sessions_per_s", "levels_per_s_mean"):
-        value = concurrent.get(key)
-        if value is not None:
-            metrics[f"service.concurrent.{key}"] = value
+    service = report.get("service", {})
+    for transport in ("concurrent", "process"):
+        entry = service.get(transport, {})
+        for key in ("sessions_per_s", "levels_per_s_mean"):
+            value = entry.get(key)
+            if value is not None:
+                metrics[f"service.{transport}.{key}"] = value
     return metrics
 
 

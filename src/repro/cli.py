@@ -213,11 +213,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument(
         "--transport",
-        choices=["memory", "socket"],
+        choices=["memory", "socket", "process"],
         default="memory",
-        help="framed-pair wire: in-memory LossyWire or a kernel "
-        "socketpair (faulted sessions always use memory -- fault "
-        "plans are a LossyWire feature)",
+        help="session substrate: in-memory LossyWire, a kernel "
+        "socketpair in-process, or one OS process per party under the "
+        "supervisor (process-transport faults use the kill_party / "
+        "sever / stall chaos kinds; frame faults need memory)",
+    )
+    p_srv.add_argument(
+        "--deadline-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="process transport: per-session wall-clock budget before "
+        "the watchdog kills and (maybe) retries it; 0 disables",
+    )
+    p_srv.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process transport: failed-session relaunch budget "
+        "(exponential backoff; retried transcripts are re-verified "
+        "bit-identical)",
+    )
+    p_srv.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="process transport: how long a SIGTERM/SIGINT drain lets "
+        "in-flight sessions finish before killing them",
     )
     p_srv.add_argument("--backend", default=None, help="gc label-hash backend")
     p_srv.add_argument(
@@ -530,7 +556,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .circuits.stdlib.integer import encode_int, less_than
     from .faults import ProtocolFault, ServiceSaturated
     from .gc.protocol import TwoPartySession
-    from .serve import SessionMultiplexer, make_socket_framed_pair
+    from .serve import (
+        SessionMultiplexer,
+        SessionSpec,
+        Supervisor,
+        make_socket_framed_pair,
+    )
 
     builder = CircuitBuilder()
     alice = builder.add_garbler_inputs(args.width)
@@ -539,41 +570,73 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     circuit = builder.build("millionaires")
     backend = _resolve_backend_flag(args)
 
-    mux = SessionMultiplexer(
-        max_concurrent=args.concurrency,
-        max_pending=args.pending,
-        max_inflight_levels=args.window,
-    )
     top = (1 << args.width) - 1
     handles = []
     expected = []
-    for index in range(args.sessions):
-        # Distinct, deterministic wealth per session; expected result
-        # is checked in plaintext after the run.
-        wealth_a = (args.seed * 7919 + index * 104729) % top
-        wealth_b = (args.seed * 6271 + index * 75989) % top
-        spec = args.faults if index == args.fault_session else None
-        session = TwoPartySession(
-            circuit, seed=args.seed + index, backend=backend, faults=spec
-        )
-        pair = None
-        if args.transport == "socket" and spec is None:
-            pair = make_socket_framed_pair()
-        try:
-            handle = mux.submit(
-                session,
-                encode_int(wealth_a, args.width),
-                encode_int(wealth_b, args.width),
-                session_id=f"s{index}",
-                pair=pair,
-            )
-        except ServiceSaturated as exc:
-            print(f"s{index} rejected: {exc}")
-            continue
-        handles.append(handle)
-        expected.append(1 if wealth_b < wealth_a else 0)
 
-    stats = mux.run_until_complete()
+    if args.transport == "process":
+        supervisor = Supervisor(
+            max_concurrent=args.concurrency,
+            max_pending=args.pending,
+            deadline_s=args.deadline_s or None,
+            retries=args.retries,
+            drain_timeout_s=args.drain_timeout_s,
+        )
+        for index in range(args.sessions):
+            wealth_a = (args.seed * 7919 + index * 104729) % top
+            wealth_b = (args.seed * 6271 + index * 75989) % top
+            spec = args.faults if index == args.fault_session else None
+            try:
+                handle = supervisor.submit(SessionSpec(
+                    circuit,
+                    encode_int(wealth_a, args.width),
+                    encode_int(wealth_b, args.width),
+                    seed=args.seed + index,
+                    backend=backend,
+                    faults=spec,
+                    session_id=f"s{index}",
+                ))
+            except ServiceSaturated as exc:
+                print(f"s{index} rejected: {exc}")
+                continue
+            handles.append(handle)
+            expected.append(1 if wealth_b < wealth_a else 0)
+        # SIGTERM/SIGINT drain gracefully: admissions stop, in-flight
+        # sessions finish inside --drain-timeout-s, children are reaped.
+        with supervisor.signals_handled():
+            stats = supervisor.run_until_complete()
+    else:
+        mux = SessionMultiplexer(
+            max_concurrent=args.concurrency,
+            max_pending=args.pending,
+            max_inflight_levels=args.window,
+        )
+        for index in range(args.sessions):
+            # Distinct, deterministic wealth per session; expected result
+            # is checked in plaintext after the run.
+            wealth_a = (args.seed * 7919 + index * 104729) % top
+            wealth_b = (args.seed * 6271 + index * 75989) % top
+            spec = args.faults if index == args.fault_session else None
+            session = TwoPartySession(
+                circuit, seed=args.seed + index, backend=backend, faults=spec
+            )
+            pair = None
+            if args.transport == "socket" and spec is None:
+                pair = make_socket_framed_pair()
+            try:
+                handle = mux.submit(
+                    session,
+                    encode_int(wealth_a, args.width),
+                    encode_int(wealth_b, args.width),
+                    session_id=f"s{index}",
+                    pair=pair,
+                )
+            except ServiceSaturated as exc:
+                print(f"s{index} rejected: {exc}")
+                continue
+            handles.append(handle)
+            expected.append(1 if wealth_b < wealth_a else 0)
+        stats = mux.run_until_complete()
 
     mismatches = 0
     rows = []
@@ -597,10 +660,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{session_stats.run_s * 1e3:.1f}",
             session_stats.streamed_levels,
             session_stats.recovery_events,
+            session_stats.attempts,
         ])
     print(render_table(
         ["Session", "Status", "Queue ms", "1st level ms", "Run ms",
-         "Levels", "Recoveries"],
+         "Levels", "Recoveries", "Attempts"],
         rows,
         title=f"{len(handles)} sessions x {args.width}-bit millionaires "
         f"({args.concurrency} slots, window {args.window}, "
@@ -616,11 +680,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{(summary['first_level_p50_s'] or 0) * 1e3:.1f} ms / p95 "
         f"{(summary['first_level_p95_s'] or 0) * 1e3:.1f} ms"
     )
+    if args.transport == "process":
+        drain = summary.get("drain")
+        print(
+            f"supervision: {summary['retries']} retries, "
+            f"{summary['worker_restarts']} worker restarts, "
+            + (
+                "drained "
+                + ("cleanly" if drain.get("clean") else "by force")
+                + f" ({drain.get('cancelled_pending', 0)} cancelled, "
+                f"{drain.get('killed_in_flight', 0)} killed)"
+                if drain
+                else "no drain requested"
+            )
+        )
     if mismatches:
         print(f"{mismatches} sessions returned wrong outputs", file=sys.stderr)
         return 3
-    if args.faults is None and summary["faulted"]:
-        return 3
+    if summary["faulted"]:
+        # Any session sealed with an error -- even an injected one --
+        # is a nonzero exit: callers scripting `repro serve` must not
+        # mistake a faulted run for a healthy one.
+        print(
+            f"{summary['faulted']} sessions sealed with errors",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 

@@ -27,16 +27,20 @@ from .errors import (
     ChannelProtocolError,
     FrameCorrupt,
     FrameTimeout,
+    PeerDisconnected,
     ProtocolFault,
     RecoveryEvent,
     RecoveryLog,
     ServiceSaturated,
     SessionAborted,
+    SessionDeadlineExceeded,
     TranscriptMismatch,
+    WorkerCrashed,
 )
 from .plan import (
     FAULT_KINDS,
     FRAME_FAULTS,
+    PROCESS_CHAOS,
     PROCESS_FAULTS,
     FaultEvent,
     FaultPlan,
@@ -53,6 +57,9 @@ __all__ = [
     "CacheEntryTorn",
     "ChannelProtocolError",
     "ServiceSaturated",
+    "WorkerCrashed",
+    "PeerDisconnected",
+    "SessionDeadlineExceeded",
     "RecoveryEvent",
     "RecoveryLog",
     "FaultEvent",
@@ -62,6 +69,7 @@ __all__ = [
     "FAULT_KINDS",
     "FRAME_FAULTS",
     "PROCESS_FAULTS",
+    "PROCESS_CHAOS",
     "install",
     "active_plan",
     "active_log",

@@ -32,6 +32,9 @@ __all__ = [
     "CacheEntryTorn",
     "ChannelProtocolError",
     "ServiceSaturated",
+    "WorkerCrashed",
+    "PeerDisconnected",
+    "SessionDeadlineExceeded",
     "RecoveryEvent",
     "RecoveryLog",
 ]
@@ -72,11 +75,51 @@ class ChannelProtocolError(ProtocolFault):
 
 
 class ServiceSaturated(ProtocolFault):
-    """The session multiplexer refused admission (capacity exhausted).
+    """The session service refused admission (capacity exhausted).
 
-    Raised by :meth:`repro.serve.SessionMultiplexer.submit` when both
-    the concurrency slots and the pending queue are full -- the typed
-    backpressure signal, distinct from any in-session failure."""
+    Raised by :meth:`repro.serve.SessionMultiplexer.submit` (and the
+    out-of-process :meth:`repro.serve.Supervisor.submit`) when both the
+    concurrency slots and the pending queue are full -- the typed
+    backpressure signal, distinct from any in-session failure.
+
+    ``retry_after_hint_s`` is the service's own estimate of when a slot
+    is likely to free: derived from the p50 session time observed so
+    far, scaled by the queue depth ahead of the rejected submit.  It is
+    ``None`` until at least one session has completed (no history means
+    no honest estimate)."""
+
+    def __init__(
+        self, message: str, retry_after_hint_s: "float | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_hint_s = retry_after_hint_s
+
+
+class WorkerCrashed(ProtocolFault):
+    """A supervised party worker process died without reporting.
+
+    Raised (or recorded as a session's sealing error) by the
+    :class:`repro.serve.Supervisor` when a worker's process sentinel
+    fires -- or its heartbeats go silent past the liveness window --
+    before the worker delivered a result or a typed error of its own.
+    SIGKILLed, OOM-killed and hard-crashed parties all land here."""
+
+
+class PeerDisconnected(ProtocolFault):
+    """The other party's transport endpoint went away mid-session.
+
+    The process-transport analogue of :class:`FrameTimeout`: a socket
+    EOF, ``ECONNRESET`` or ``EPIPE`` while frames were still expected.
+    Also raised by :class:`repro.serve.SocketWire` when its peer dies
+    mid-drain -- never a raw ``OSError``."""
+
+
+class SessionDeadlineExceeded(ProtocolFault):
+    """A session overran its wall-clock deadline and was killed.
+
+    The supervisor's watchdog kills-and-reaps both party workers when
+    the per-session deadline expires; the session seals with this fault
+    (and is retried if budget remains)."""
 
 
 @dataclass(frozen=True)

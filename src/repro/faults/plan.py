@@ -31,6 +31,15 @@ Process/storage faults (consulted via :func:`repro.faults.active_plan`):
 
 ``kill_worker``  SIGKILL one parallel-pool worker before a dispatch
 ``tear_cache``   corrupt a progcache entry file just before it is read
+
+Process-scope chaos (consulted by :class:`repro.serve.Supervisor` for
+sessions on the ``process`` transport; one mutating kind per attempt,
+priority ``kill_party`` > ``sever`` > ``stall``):
+
+``kill_party``  SIGKILL one party worker mid-session
+``sever``       shut down the inter-party socket mid-session
+``stall``       one party stops making progress (the deadline watchdog
+                must kill it)
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from typing import Dict, List, Optional, Tuple, Union
 __all__ = [
     "FRAME_FAULTS",
     "PROCESS_FAULTS",
+    "PROCESS_CHAOS",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",
@@ -60,7 +70,11 @@ FRAME_FAULTS = (
     "reorder",
 )
 PROCESS_FAULTS = ("kill_worker", "tear_cache")
-FAULT_KINDS = FRAME_FAULTS + PROCESS_FAULTS
+#: Whole-process chaos kinds, applied per session *attempt* by the
+#: out-of-process supervisor (priority order: a kill beats a sever
+#: beats a stall when several arm on the same attempt).
+PROCESS_CHAOS = ("kill_party", "sever", "stall")
+FAULT_KINDS = FRAME_FAULTS + PROCESS_FAULTS + PROCESS_CHAOS
 
 _ENV_SPEC = "REPRO_FAULTS"
 
@@ -132,6 +146,15 @@ class FaultPlan:
 
     def tear_cache(self, site: str = "cache") -> bool:
         return self._arm(site, "tear_cache")
+
+    def chaos_kinds(self, site: str = "supervisor") -> List[str]:
+        """Process-chaos kinds arming for one session attempt.
+
+        Mirrors :meth:`frame_faults`: every kind draws unconditionally
+        so the RNG stream depends only on the call sequence.  The
+        supervisor applies at most one (priority order of
+        ``PROCESS_CHAOS``)."""
+        return [kind for kind in PROCESS_CHAOS if self._arm(site, kind)]
 
     def signature(self) -> List[Tuple[str, str]]:
         """Order-sensitive (site, kind) pairs for determinism asserts."""

@@ -349,7 +349,13 @@ class FramedChannel:
         max_retries: int = 8,
         backoff_base_s: float = 0.0005,
         wire: Optional[Any] = None,
+        keep_retransmit: bool = True,
     ) -> None:
+        """``keep_retransmit=False`` skips the sender-side pristine-frame
+        buffer.  The retransmit path only works when sender and receiver
+        share this object (the in-process transports); a split-process
+        endpoint over a loss-free blocking wire never retransmits, and
+        retaining every frame for the session would only grow memory."""
         if chunk_bytes < 1:
             raise ValueError("chunk_bytes must be >= 1")
         if wire is not None and plan is not None:
@@ -363,6 +369,7 @@ class FramedChannel:
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
         self.wire = wire if wire is not None else LossyWire(name, plan)
+        self.keep_retransmit = keep_retransmit
         self.bytes_by_class: Dict[str, int] = defaultdict(int)
         # Sender state.
         self._next_seq = 0
@@ -407,7 +414,8 @@ class FramedChannel:
             frame = Frame(self._next_seq, msg_id, index, len(chunks), kind, chunk)
             self._next_seq = (self._next_seq + 1) % SEQ_MOD
             data = encode_frame(frame)
-            self._retransmit[frame.seq] = data
+            if self.keep_retransmit:
+                self._retransmit[frame.seq] = data
             self.bytes_by_class[kind] += len(data)
             self.frames_sent += 1
             self.wire.push(data, frame.seq)

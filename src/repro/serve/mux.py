@@ -68,6 +68,9 @@ class SessionStats:
     recovery_events: int = 0
     fault_events: int = 0
     error: Optional[str] = None
+    #: Launches this session took (in-process sessions always run once;
+    #: the out-of-process supervisor retries under a bounded budget).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -86,6 +89,7 @@ class SessionStats:
             "steps": self.steps,
             "recovery_events": self.recovery_events,
             "fault_events": self.fault_events,
+            "attempts": self.attempts,
         }
 
 
@@ -96,6 +100,14 @@ class ServiceStats:
     sessions: List[SessionStats] = field(default_factory=list)
     rejected: int = 0
     wall_s: float = 0.0
+    #: Session re-launches after a failed attempt (process transport).
+    retries: int = 0
+    #: Party worker processes started beyond the first pair per session.
+    worker_restarts: int = 0
+    #: Drain ledger from a supervised run (``None`` when no drain was
+    #: requested): ``{"requested", "clean", "cancelled_pending",
+    #: "killed_in_flight", "drain_s"}``.
+    drain: Optional[Dict[str, object]] = None
 
     @property
     def completed(self) -> int:
@@ -131,6 +143,9 @@ class ServiceStats:
             "queue_wait_p95_s": _percentile(waits, 95.0),
             "recovery_events": sum(s.recovery_events for s in self.sessions),
             "fault_events": sum(s.fault_events for s in self.sessions),
+            "retries": self.retries,
+            "worker_restarts": self.worker_restarts,
+            "drain": self.drain,
         }
 
 
@@ -201,6 +216,12 @@ class SessionMultiplexer:
         socket-backed :func:`~repro.serve.make_socket_framed_pair`);
         otherwise the driver builds the in-memory framed pair from the
         session's own fault spec.
+
+        When saturated, the raised :class:`ServiceSaturated` carries
+        ``retry_after_hint_s``: the p50 session time observed so far,
+        scaled by how deep the pending queue is -- roughly when the
+        next slot should free up.  It is ``None`` until at least one
+        session has completed (no history, no honest estimate).
         """
         outstanding = len(self._active) + len(self._pending)
         if outstanding >= self.max_concurrent + self.max_pending:
@@ -208,7 +229,8 @@ class SessionMultiplexer:
             raise ServiceSaturated(
                 f"service saturated: {len(self._active)} running + "
                 f"{len(self._pending)} queued against capacity "
-                f"{self.max_concurrent} slots + {self.max_pending} queue"
+                f"{self.max_concurrent} slots + {self.max_pending} queue",
+                retry_after_hint_s=self.saturation_hint_s(),
             )
         window = (
             self.max_inflight_levels
@@ -226,6 +248,23 @@ class SessionMultiplexer:
         handle = SessionHandle(session_id or f"s{self._admitted}", driver)
         self._pending.append(handle)
         return handle
+
+    def saturation_hint_s(self) -> Optional[float]:
+        """Estimated seconds until a rejected caller should retry.
+
+        Derived from the p50 ``run_s`` of sessions sealed healthy so
+        far, scaled by current queue depth relative to the slot count;
+        ``None`` with no completed history.
+        """
+        runs = [
+            h.stats.run_s
+            for h in self._finished
+            if h.stats.ok and h.stats.run_s > 0
+        ]
+        p50 = _percentile(runs, 50.0)
+        if p50 is None:
+            return None
+        return p50 * (1.0 + len(self._pending) / self.max_concurrent)
 
     # -- scheduling ----------------------------------------------------
 

@@ -18,16 +18,28 @@ matrix.
 
 from __future__ import annotations
 
+import errno
 import socket
 from typing import Optional
 
-from ..faults import RecoveryLog
+from ..faults import PeerDisconnected, RecoveryLog
 from ..gc.channel import FramedChannel, FramedPair
 
 __all__ = ["SocketWire", "make_socket_framed_pair", "close_framed_pair"]
 
 _LEN_PREFIX = 4
 _IO_CHUNK = 65536
+
+
+#: ``errno`` values that mean "the other endpoint is gone" rather than
+#: a programming error; they surface as typed :class:`PeerDisconnected`.
+_PEER_GONE_ERRNOS = frozenset({
+    errno.EPIPE,
+    errno.ECONNRESET,
+    errno.ENOTCONN,
+    errno.ESHUTDOWN,
+    errno.EBADF,
+})
 
 
 class SocketWire:
@@ -38,11 +50,24 @@ class SocketWire:
     or ``pop`` -- the single-threaded drive loop guarantees the reader
     eventually drains the pipe, so parking (not blocking) is the only
     deadlock-free option when one object holds both ends.
+
+    Failure surface: a peer that died mid-drain (``EPIPE`` /
+    ``ECONNRESET`` while the outbox self-drains, or an endpoint closed
+    under us) raises typed
+    :class:`~repro.faults.PeerDisconnected`, never a raw ``OSError``;
+    :meth:`close` is idempotent, so the multiplexer's seal path and a
+    caller's own cleanup can both close without fear.
+
+    ``sndbuf`` pins ``SO_SNDBUF`` (and the matching ``SO_RCVBUF``) --
+    tests use a tiny value to force partial-write parking.
     """
 
-    def __init__(self, direction: str) -> None:
+    def __init__(self, direction: str, sndbuf: Optional[int] = None) -> None:
         self.direction = direction
         self._tx, self._rx = socket.socketpair()
+        if sndbuf is not None:
+            self._tx.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, sndbuf)
+            self._rx.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, sndbuf)
         self._tx.setblocking(False)
         self._rx.setblocking(False)
         self._outbox = bytearray()  # length-prefixed frames awaiting send
@@ -53,9 +78,17 @@ class SocketWire:
         self.pushed = 0
         self.dropped = 0
 
+    def _peer_gone(self, exc: OSError, during: str) -> PeerDisconnected:
+        return PeerDisconnected(
+            f"SocketWire {self.direction!r}: peer endpoint gone during "
+            f"{during}: {exc}"
+        )
+
     def push(self, data: bytes, seq: int) -> None:
         if self._closed:
-            raise OSError(f"SocketWire {self.direction!r} is closed")
+            raise PeerDisconnected(
+                f"SocketWire {self.direction!r} is closed"
+            )
         self.pushed += 1
         self._in_flight += 1
         self._outbox += len(data).to_bytes(_LEN_PREFIX, "little") + data
@@ -78,6 +111,9 @@ class SocketWire:
         return self._in_flight
 
     def close(self) -> None:
+        """Release both endpoints; safe to call any number of times."""
+        if self._closed:
+            return
         self._closed = True
         for sock in (self._tx, self._rx):
             try:
@@ -98,6 +134,10 @@ class SocketWire:
                 if not self._drain():
                     return
                 continue
+            except OSError as exc:
+                if exc.errno in _PEER_GONE_ERRNOS:
+                    raise self._peer_gone(exc, "outbox self-drain") from exc
+                raise
             del self._outbox[:sent]
 
     def _drain(self) -> bool:
@@ -107,6 +147,10 @@ class SocketWire:
                 chunk = self._rx.recv(_IO_CHUNK)
             except BlockingIOError:
                 break
+            except OSError as exc:
+                if exc.errno in _PEER_GONE_ERRNOS:
+                    raise self._peer_gone(exc, "inbox drain") from exc
+                raise
             if not chunk:
                 break
             self._inbox += chunk

@@ -7,6 +7,7 @@ import pytest
 from repro.faults import (
     FAULT_KINDS,
     FRAME_FAULTS,
+    PROCESS_CHAOS,
     PROCESS_FAULTS,
     FaultPlan,
     parse_fault_spec,
@@ -56,7 +57,40 @@ class TestParseFaultSpec:
         assert again.seed == plan.seed
 
     def test_kind_constants_cover_registry(self):
-        assert set(FAULT_KINDS) == set(FRAME_FAULTS) | set(PROCESS_FAULTS)
+        assert set(FAULT_KINDS) == (
+            set(FRAME_FAULTS) | set(PROCESS_FAULTS) | set(PROCESS_CHAOS)
+        )
+
+    def test_process_chaos_kinds_parse(self):
+        plan = parse_fault_spec("kill_party:0.5,sever:0.25,stall,seed=4")
+        assert plan.rates == {
+            "kill_party": 0.5, "sever": 0.25, "stall": 1.0,
+        }
+
+    def test_chaos_kinds_draw_unconditionally(self):
+        # Like frame_faults: the RNG stream depends only on the call
+        # sequence, never on which kinds happen to be armed -- so two
+        # plans differing only in armed chaos kinds stay in lockstep.
+        a = parse_fault_spec("kill_party,seed=6")
+        b = parse_fault_spec("stall,seed=6")
+        for seq in range(10):
+            a.chaos_kinds(f"s#{seq}")
+            b.chaos_kinds(f"s#{seq}")
+        assert a.choose_offset(1000) == b.choose_offset(1000)
+
+    def test_chaos_kinds_priority_order_and_determinism(self):
+        spec = "kill_party:0.4,sever:0.4,stall:0.4,seed=13"
+        a = parse_fault_spec(spec)
+        b = parse_fault_spec(spec)
+        draws_a = [a.chaos_kinds(f"s#{i}") for i in range(20)]
+        draws_b = [b.chaos_kinds(f"s#{i}") for i in range(20)]
+        assert draws_a == draws_b
+        # Kinds come back in PROCESS_CHAOS order, ready for the
+        # supervisor's pick-first priority rule.
+        for kinds in draws_a:
+            order = [PROCESS_CHAOS.index(k) for k in kinds]
+            assert order == sorted(order)
+        assert any(len(kinds) > 1 for kinds in draws_a)
 
 
 class TestFaultPlanDeterminism:

@@ -166,6 +166,43 @@ class TestAdmission:
         mux.run_until_complete()
         assert second.result is not None
 
+    def test_retry_after_hint_none_without_history(self, adder_circuit):
+        from repro.faults import ServiceSaturated
+
+        g, e = _bits(adder_circuit)
+        mux = SessionMultiplexer(max_concurrent=1, max_pending=0)
+        mux.submit(TwoPartySession(adder_circuit, seed=7), g, e)
+        with pytest.raises(ServiceSaturated) as excinfo:
+            mux.submit(TwoPartySession(adder_circuit, seed=7), g, e)
+        # No session has completed yet: no honest estimate exists.
+        assert excinfo.value.retry_after_hint_s is None
+        mux.run_until_complete()
+
+    def test_retry_after_hint_tracks_p50_and_queue_depth(
+        self, adder_circuit
+    ):
+        from repro.faults import ServiceSaturated
+
+        g, e = _bits(adder_circuit)
+        mux = SessionMultiplexer(max_concurrent=1, max_pending=1)
+        mux.submit(TwoPartySession(adder_circuit, seed=7), g, e)
+        mux.run_until_complete()
+        p50 = mux.saturation_hint_s()
+        assert p50 is not None and p50 > 0
+
+        # Refill to saturation: hint scales with pending-queue depth.
+        mux.submit(TwoPartySession(adder_circuit, seed=7), g, e)
+        mux.submit(TwoPartySession(adder_circuit, seed=7), g, e)
+        with pytest.raises(ServiceSaturated) as excinfo:
+            mux.submit(TwoPartySession(adder_circuit, seed=7), g, e)
+        hint = excinfo.value.retry_after_hint_s
+        assert hint is not None
+        # Two sessions queued behind one slot: the hint scales the p50
+        # session time up by the backlog, p50 * (1 + pending/slots).
+        assert hint == pytest.approx(p50 * 3.0)
+        assert hint > p50
+        mux.run_until_complete()
+
     def test_constructor_validation(self):
         with pytest.raises(ValueError):
             SessionMultiplexer(max_concurrent=0)
@@ -236,6 +273,53 @@ class TestSocketTransport:
                 )
         finally:
             close_framed_pair(pair)
+
+    def test_tiny_sndbuf_partial_writes_no_deadlock(self):
+        # A pinned-small SO_SNDBUF forces the partial-write parking
+        # path on every frame; the wire must keep making progress and
+        # deliver every byte in order.
+        wire = SocketWire("test", sndbuf=2048)
+        frames = [bytes([i % 256]) * 16384 for i in range(32)]
+        try:
+            for i, frame in enumerate(frames):
+                wire.push(frame, i)
+            for frame in frames:
+                assert wire.pop() == frame
+        finally:
+            wire.close()
+
+    def test_peer_killed_mid_frame_is_typed(self):
+        from repro.faults import PeerDisconnected
+
+        # Tiny buffers so a large frame cannot fit in flight, then kill
+        # the receiving endpoint mid-transfer: the outbox self-drain
+        # must surface typed PeerDisconnected, never a raw OSError and
+        # never a deadlock.
+        wire = SocketWire("test", sndbuf=2048)
+        try:
+            wire._rx.close()
+            with pytest.raises(PeerDisconnected):
+                for seq in range(64):
+                    wire.push(b"x" * 16384, seq)
+        finally:
+            wire.close()
+
+    def test_push_after_close_is_typed(self):
+        from repro.faults import PeerDisconnected
+
+        wire = SocketWire("test")
+        wire.close()
+        with pytest.raises(PeerDisconnected):
+            wire.push(b"frame", 0)
+
+    def test_close_is_idempotent(self):
+        wire = SocketWire("test")
+        wire.push(b"frame", 0)
+        wire.close()
+        wire.close()  # second close must be a no-op, not an error
+        pair = make_socket_framed_pair()
+        close_framed_pair(pair)
+        close_framed_pair(pair)
 
 
 class TestStats:
