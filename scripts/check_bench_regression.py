@@ -20,6 +20,10 @@ Tracked metrics:
 * ``sim.batched_grid.scenarios_per_s`` -- scenario-grid retire rate
   through the batched config axis (the ``bench_scenarios.py`` fast
   path);
+* ``sim.compile.{cold,warm}_per_s`` -- compiles per second, cold
+  (fresh circuit, empty dependence-graph registry, no cache) and warm
+  (program-cache disk hit); inverted from the recorded seconds because
+  this checker gates higher-is-better metrics only;
 * ``protocol.streaming.{monolithic,streamed}.and_gates_per_s`` and
   ``protocol.streaming.first_level_speedup`` -- level-streamed vs
   monolithic two-party session latency (``bench_protocol.py``; AES-128
@@ -102,6 +106,15 @@ def tracked_metrics(report: dict) -> dict:
     value = grid.get("scenarios_per_s")
     if value is not None:
         metrics["sim.batched_grid.scenarios_per_s"] = value
+    # Compile cost through the shared dependence graph (cold) and the
+    # persistent program cache (warm).  The report records seconds; this
+    # checker is higher-is-better only, so the gated form is the
+    # inverted compiles-per-second rate.
+    compile_block = report.get("sim", {}).get("compile", {})
+    for key in ("cold_per_s", "warm_per_s"):
+        value = compile_block.get(key)
+        if value is not None:
+            metrics[f"sim.compile.{key}"] = value
     # Level-streamed session (bench_protocol.py): end-to-end AND-gate
     # throughput in both drive modes, plus the pipelining headline --
     # how much sooner the streamed Evaluator finishes its first AND

@@ -6,8 +6,10 @@ models, plus cold-vs-warm compile time through the persistent program
 cache, the engine comparison (``numpy`` level-parallel vs
 ``vectorized`` flat loop vs per-gate ``reference``) and the
 batched-grid comparison (one scenario grid retired through the batched
-config axis vs the serial per-point loop).  Merges into
-``BENCH_throughput.json`` under ``"sim"`` (sub-schema
+config axis vs the serial per-point loop) and the standalone
+compile-cost block (cold: fresh circuit, empty depgraph registry, no
+cache; warm: disk hit through a fresh ``ProgramCache`` instance).
+Merges into ``BENCH_throughput.json`` under ``"sim"`` (sub-schema
 ``repro.bench_sim/v1``).
 """
 
@@ -133,6 +135,53 @@ def measure_batched_grid(streams, config, repeats: int) -> dict:
     }
 
 
+def measure_compile(circuit, config, repeats: int) -> dict:
+    """Cold vs warm compile cost at RO_RN_ESW.
+
+    Cold forces the real work: a memo-free circuit copy (the pickle
+    round trip drops every instance memo, the dependence graph
+    included), an empty depgraph registry and no program cache.  Warm
+    measures a disk hit end to end: the store is populated once, then
+    each timed run unpickles through a *fresh* ``ProgramCache``
+    instance so the memory layer cannot shortcut it.  Both are also
+    reported inverted (``*_per_s``) because
+    ``check_bench_regression.py`` gates higher-is-better metrics only.
+    """
+    import pickle
+
+    from ..core import depgraph
+
+    blob = pickle.dumps(circuit)
+
+    def compile_fresh(cache=None):
+        fresh = pickle.loads(blob)
+        depgraph.clear_registry()
+        start = time.perf_counter()
+        compile_circuit(
+            fresh, config.window, config.n_ges,
+            opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+            cache=cache,
+        )
+        return time.perf_counter() - start
+
+    cold_s = min(compile_fresh() for _ in range(repeats))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-compile-") as cache_dir:
+        compile_fresh(cache=ProgramCache(cache_dir))  # populate the store
+        warm_s = min(
+            compile_fresh(cache=ProgramCache(cache_dir))
+            for _ in range(repeats)
+        )
+    return {
+        "workload": circuit.name,
+        "gates": len(circuit.gates),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_per_s": 1.0 / cold_s,
+        "warm_per_s": 1.0 / warm_s,
+        "warm_speedup": cold_s / warm_s if warm_s else float("inf"),
+    }
+
+
 def measure_sim(quick: bool = False, repeats: int = 3) -> dict:
     """Benchmark every timing model; returns the ``"sim"`` JSON section."""
     relu_params = {"k": 32, "width": 8} if quick else {"k": 128, "width": 16}
@@ -227,6 +276,7 @@ def measure_sim(quick: bool = False, repeats: int = 3) -> dict:
         "models": models,
         "engines": engines,
         "batched_grid": measure_batched_grid(streams, config, repeats),
+        "compile": measure_compile(circuit, config, repeats),
     }
 
 
@@ -274,6 +324,12 @@ def render(section: Dict) -> str:
         f"({grid['scenarios_per_s']:,.0f} scenarios/s, "
         f"{grid['speedup_batched_vs_serial']:.2f}x vs serial "
         f"{grid['serial_seconds'] * 1000:.2f} ms)"
+    )
+    comp = section["compile"]
+    lines.append(
+        f"compile ({comp['workload']}, {comp['gates']} gates): "
+        f"cold {comp['cold_s'] * 1000:.1f} ms -> warm "
+        f"{comp['warm_s'] * 1000:.1f} ms ({comp['warm_speedup']:.1f}x)"
     )
     return "\n".join(lines)
 

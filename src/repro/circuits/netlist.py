@@ -316,10 +316,17 @@ class Circuit:
     # ------------------------------------------------------------------
 
     #: Per-instance memo attributes (and_level_schedule, progcache
-    #: digest, multicore partition).  Derivable from the netlist, so
-    #: they are dropped on pickle: cache entries stay lean and a stale
-    #: memo can never be revived from disk.
-    _MEMO_ATTRS = ("_and_schedule_cache", "_digest_cache", "_components_cache")
+    #: digest, multicore partition, dependence graph).  Derivable from
+    #: the netlist, so they are dropped on pickle: cache entries stay
+    #: lean and a stale memo can never be revived from disk.  (The
+    #: renamed program's dependence graph *is* persisted, but on the
+    #: StreamSet -- see repro.core.depgraph.)
+    _MEMO_ATTRS = (
+        "_and_schedule_cache",
+        "_digest_cache",
+        "_components_cache",
+        "_depgraph_cache",
+    )
 
     def __getstate__(self):
         state = dict(self.__dict__)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from ..circuits.netlist import Circuit, Gate, GateOp
+from .depgraph import DepGraph, dep_graph, seed_graph
 from .program import HaacProgram
 
 __all__ = ["lower_inv", "assemble", "LoweredCircuit"]
@@ -56,7 +57,11 @@ def lower_inv(circuit: Circuit) -> LoweredCircuit:
     every internal wire id up by one; outputs are remapped accordingly.
     Circuits without INV are returned unchanged.
     """
-    circuit.validate()
+    # Building (or recalling) the dependence graph checks the same IR
+    # invariants as validate(); for INV-free circuits -- returned
+    # unchanged -- it doubles as the memoized graph the rest of the
+    # pipeline and the multicore partitioner share.
+    dep_graph(circuit)
     if not any(gate.op is GateOp.INV for gate in circuit.gates):
         return LoweredCircuit(circuit, has_one_wire=False)
 
@@ -82,17 +87,20 @@ def lower_inv(circuit: Circuit) -> LoweredCircuit:
         gates=gates,
         name=circuit.name + "+lowered",
     )
-    lowered.validate()
+    # Validates and seeds the lowered circuit's graph for the pipeline.
+    seed_graph(lowered, DepGraph(lowered))
     return LoweredCircuit(lowered, has_one_wire=True)
 
 
 def assemble(circuit: Circuit) -> Tuple[HaacProgram, LoweredCircuit]:
     """Netlist -> (baseline HAAC program, lowered circuit adapter)."""
     lowered = lower_inv(circuit)
+    # from_netlist already enforces the ISA contract (renamed form, no
+    # INV) while emitting instructions 1:1 from the just-validated
+    # lowered netlist, so a second validate() pass is redundant.
     program = HaacProgram.from_netlist(
         lowered.circuit,
         name=circuit.name,
         applied_passes=["assemble"],
     )
-    program.validate()
     return program, lowered

@@ -28,6 +28,7 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..circuits.netlist import Circuit
 from .assembler import LoweredCircuit, assemble
+from .depgraph import dep_graph
 from .passes.esw import EswReport, eliminate_spent_wires
 from .passes.rename import rename
 from .passes.reorder import depth_first_order, full_reorder, segment_reorder
@@ -140,11 +141,17 @@ def compile_circuit(
         netlist, name=circuit.name, applied_passes=passes
     )
 
-    program_with_esw, esw_report = eliminate_spent_wires(program, window)
+    # One dependence graph for the renamed program, shared by ESW,
+    # stream generation and (through the StreamSet) every sim engine --
+    # the rename pass already seeded it, so this is a memo hit.
+    graph = dep_graph(netlist)
+    program_with_esw, esw_report = eliminate_spent_wires(
+        program, window, graph=graph
+    )
     if opt.esw:
         program = program_with_esw
 
-    streams = generate_streams(program, window, n_ges, params)
+    streams = generate_streams(program, window, n_ges, params, graph=graph)
     if verify:
         from .verify import verify_streams
 

@@ -1,0 +1,578 @@
+"""One shared dependence-graph IR for the compiler and the sim engines.
+
+Before this module, four consumers re-derived overlapping dependence
+structure from the same netlist on every cold compile: the reorder
+passes re-ran :meth:`Circuit.gate_levels`, ESW re-walked every gate's
+operands, the greedy GE mapping iterated gate dataclasses, and the
+multicore partitioner ran its own union-find.  :class:`DepGraph` is the
+single flat-array home for all of it (DESIGN.md section 14):
+
+* **operand arrays** ``a_of`` / ``b_of`` / ``out_of`` / ``is_and`` --
+  one attribute walk over the gate dataclasses, ever;
+* **reader adjacency** -- CSR (``reader_off`` / ``reader_pos``) built by
+  counting sort, so per-wire reader lists are ascending program
+  positions and ``last_reader`` is one gather;
+* **topological levels** -- the netlist's ASAP wire/gate levels (these
+  are per-*wire-id* and therefore permutation-invariant: the reorder
+  passes share one computation across the pipeline);
+* **union-find components** -- connected components in first-seen
+  (topological) order, exactly the multicore partitioner's contract;
+* **window-sync edges** -- both directions of the tagless-SWW hazards:
+  the PR-5 WAW rule (an evicting write orders after the evicted slot's
+  *producer*, readers or not) and the OoR reader-after-evictor floor.
+  They live in :func:`engine_levels`, the schedule-aware level
+  partition that ``CompiledArrays.ensure_levels`` now projects, and in
+  the greedy scheduler's ``last_read_issue`` bookkeeping -- one
+  definition, asserted bit-identical by the equivalence suite.
+
+Graph construction *is* validation: the eager pass checks the same IR
+invariants as :meth:`Circuit.validate` (dense ids, SSA, topological
+order) on flat integers, so a pass that builds or receives a graph can
+skip a redundant ``validate()`` of the same netlist.
+
+Memoization is two-level: on the circuit instance (attribute
+``_depgraph_cache``, dropped on pickle like every other netlist memo)
+and in a small digest-keyed registry so rebuilt-but-equal circuits --
+a multicore sweep re-calling :func:`partition_components`, or two opt
+levels sharing one lowered circuit -- reuse the graph and everything
+lazily derived on it.  The renamed program's graph additionally rides
+along on the :class:`StreamSet` into the persistent program cache
+(CACHE_SCHEMA v4), sharing its operand lists with the engine's
+``CompiledArrays`` so warm entries store one copy.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.netlist import Circuit, CircuitError, GateOp
+
+__all__ = [
+    "DepGraph",
+    "dep_graph",
+    "engine_levels",
+    "build_counts",
+    "clear_registry",
+    "seed_graph",
+]
+
+#: Instance-memo attribute on Circuit (listed in Circuit._MEMO_ATTRS so
+#: pickled netlists never carry a graph; StreamSet persists it instead).
+GRAPH_ATTR = "_depgraph_cache"
+
+#: Digest-keyed graphs surviving across rebuilt Circuit instances.
+#: Bounded FIFO: 64 graphs cover any realistic sweep's working set.
+_REGISTRY_MAX = 64
+_registry: "Dict[str, DepGraph]" = {}
+_registry_lock = threading.Lock()
+
+#: Work-actually-done counters (not cache hits) -- the warm-path tests
+#: and the bench's cold-compile honesty both read these.
+_counts = {"graphs": 0, "levels": 0, "readers": 0, "components": 0}
+
+
+def build_counts() -> Dict[str, int]:
+    """Snapshot of how many times each derivation actually ran."""
+    return dict(_counts)
+
+
+def clear_registry() -> None:
+    """Drop all digest-keyed graphs (cold-path benchmarking, tests)."""
+    with _registry_lock:
+        _registry.clear()
+
+
+class DepGraph:
+    """Immutable flat-array dependence graph of one :class:`Circuit`.
+
+    Eager fields are one pass over the gate list; everything else is
+    derived lazily, once, and memoized on the graph.  All fields are
+    plain Python lists (the same NumPy-less-pickle portability contract
+    as ``CompiledArrays``; the NumPy engine wraps them on demand).
+    """
+
+    __slots__ = (
+        "n_inputs",
+        "n_gates",
+        "n_wires",
+        "a_of",
+        "b_of",
+        "out_of",
+        "is_and",
+        "renamed",
+        "_wire_level",
+        "_gate_level",
+        "_reader_off",
+        "_reader_pos",
+        "_last_reader",
+        "_component_of",
+        "_components",
+        "_oor_flags",
+    )
+
+    def __init__(self, circuit: Circuit):
+        gates = circuit.gates
+        n_inputs = circuit.n_inputs
+        n_gates = len(gates)
+        n_wires = n_inputs + n_gates
+        a_of = [gate.a for gate in gates]
+        b_of = [gate.b for gate in gates]
+        out_of = [gate.out for gate in gates]
+        is_and = [gate.op is GateOp.AND for gate in gates]
+
+        # Validation witness: the same invariants as Circuit.validate(),
+        # checked on flat integers (no per-gate generators).
+        defined = bytearray(n_wires)
+        for wire in range(min(n_inputs, n_wires)):
+            defined[wire] = 1
+        renamed = True
+        for position in range(n_gates):
+            a = a_of[position]
+            b = b_of[position]
+            out = out_of[position]
+            if a >= n_wires or (b >= 0 and b >= n_wires) or out >= n_wires:
+                raise CircuitError(
+                    f"gate {position} touches a wire >= n_wires {n_wires}"
+                )
+            if not defined[a] or (b >= 0 and not defined[b]):
+                raise CircuitError(
+                    f"gate {position} reads a wire before it is defined"
+                )
+            if out < n_inputs:
+                raise CircuitError(
+                    f"gate {position} overwrites input wire {out}"
+                )
+            if defined[out]:
+                raise CircuitError(
+                    f"wire {out} defined twice (SSA violation)"
+                )
+            defined[out] = 1
+            if out != n_inputs + position:
+                renamed = False
+        for wire in circuit.outputs:
+            if wire >= n_wires or not defined[wire]:
+                raise CircuitError(f"output wire {wire} is undefined")
+
+        self.n_inputs = n_inputs
+        self.n_gates = n_gates
+        self.n_wires = n_wires
+        self.a_of = a_of
+        self.b_of = b_of
+        self.out_of = out_of
+        self.is_and = is_and
+        self.renamed = renamed
+        self._wire_level: Optional[List[int]] = None
+        self._gate_level: Optional[List[int]] = None
+        self._reader_off: Optional[List[int]] = None
+        self._reader_pos: Optional[List[int]] = None
+        self._last_reader: Optional[List[int]] = None
+        self._component_of: Optional[List[int]] = None
+        self._components: Optional[List[List[int]]] = None
+        self._oor_flags: Dict[int, Tuple[List[bool], List[bool]]] = {}
+        _counts["graphs"] += 1
+
+    # ------------------------------------------------------------------
+    # Topological (ASAP) levels
+    # ------------------------------------------------------------------
+
+    @property
+    def wire_level(self) -> List[int]:
+        """ASAP level per wire id (inputs 0) -- Circuit.wire_levels.
+
+        Per-wire-id, so a gate *permutation* of the same netlist has the
+        identical array; the reorder passes exploit that by seeding the
+        permuted circuit's graph with the source's levels.
+        """
+        if self._wire_level is None:
+            level = [0] * self.n_wires
+            a_of, b_of, out_of = self.a_of, self.b_of, self.out_of
+            for position in range(self.n_gates):
+                la = level[a_of[position]]
+                b = b_of[position]
+                if b >= 0:
+                    lb = level[b]
+                    if lb > la:
+                        la = lb
+                level[out_of[position]] = la + 1
+            self._wire_level = level
+            _counts["levels"] += 1
+        return self._wire_level
+
+    @property
+    def gate_level(self) -> List[int]:
+        """ASAP level per gate position, 1-based -- Circuit.gate_levels."""
+        if self._gate_level is None:
+            level = self.wire_level
+            self._gate_level = [level[out] for out in self.out_of]
+        return self._gate_level
+
+    # ------------------------------------------------------------------
+    # Reader adjacency (CSR) and producers
+    # ------------------------------------------------------------------
+
+    def _build_readers(self) -> None:
+        """Counting-sort CSR: per-wire reader positions, ascending."""
+        n_wires = self.n_wires
+        counts = [0] * (n_wires + 1)
+        a_of, b_of = self.a_of, self.b_of
+        for position in range(self.n_gates):
+            counts[a_of[position] + 1] += 1
+            b = b_of[position]
+            if b >= 0:
+                counts[b + 1] += 1
+        for wire in range(n_wires):
+            counts[wire + 1] += counts[wire]
+        offsets = list(counts)
+        reader_pos = [0] * counts[n_wires]
+        cursor = list(counts[:-1])
+        for position in range(self.n_gates):
+            a = a_of[position]
+            reader_pos[cursor[a]] = position
+            cursor[a] += 1
+            b = b_of[position]
+            if b >= 0:
+                reader_pos[cursor[b]] = position
+                cursor[b] += 1
+        self._reader_off = offsets
+        self._reader_pos = reader_pos
+        _counts["readers"] += 1
+
+    @property
+    def reader_off(self) -> List[int]:
+        """CSR offsets: wire ``w``'s readers are
+        ``reader_pos[reader_off[w]:reader_off[w + 1]]`` (ascending)."""
+        if self._reader_off is None:
+            self._build_readers()
+        return self._reader_off
+
+    @property
+    def reader_pos(self) -> List[int]:
+        if self._reader_pos is None:
+            self._build_readers()
+        return self._reader_pos
+
+    def readers(self, wire: int) -> List[int]:
+        """Gate positions reading ``wire``, in program order."""
+        off = self.reader_off
+        return self.reader_pos[off[wire]:off[wire + 1]]
+
+    @property
+    def last_reader(self) -> List[int]:
+        """Last gate position reading each wire (-1: never read).
+
+        The ESW liveness rule only needs the *last* reader: consumer
+        frontiers ``n_inputs + q`` ascend with ``q``, so a wire is read
+        past its eviction frontier iff its last reader is.
+        """
+        if self._last_reader is None:
+            last = [-1] * self.n_wires
+            a_of, b_of = self.a_of, self.b_of
+            for position in range(self.n_gates):
+                last[a_of[position]] = position
+                b = b_of[position]
+                if b >= 0:
+                    last[b] = position
+            self._last_reader = last
+        return self._last_reader
+
+    def producer_pos(self, wire: int) -> int:
+        """Producing gate position of ``wire`` (-1 for primary inputs).
+
+        Renamed circuits answer by arithmetic; general circuits scan the
+        ``out_of`` array lazily via a one-shot inverse is unnecessary --
+        the only non-renamed consumer (DFS ordering) builds its own
+        traversal order, so this stays a simple helper.
+        """
+        if wire < self.n_inputs:
+            return -1
+        if self.renamed:
+            return wire - self.n_inputs
+        # Rare path: invert on demand without memo (callers that need
+        # the full inverse use producer_index()).
+        return self.producer_index()[wire]
+
+    def producer_index(self) -> List[int]:
+        """Full wire -> producing-position inverse (-1 for inputs)."""
+        index = [-1] * self.n_wires
+        out_of = self.out_of
+        for position in range(self.n_gates):
+            index[out_of[position]] = position
+        return index
+
+    # ------------------------------------------------------------------
+    # Union-find components
+    # ------------------------------------------------------------------
+
+    def _build_components(self) -> None:
+        """Connected components over shared wires, first-seen order.
+
+        Identical contract to the legacy multicore partitioner: a
+        path-halving union-find over dense wire ids, then one bucketing
+        pass in gate order so component indices follow first appearance
+        (topological order).
+        """
+        parent = list(range(self.n_wires))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        a_of, b_of, out_of = self.a_of, self.b_of, self.out_of
+        for position in range(self.n_gates):
+            out_root = find(out_of[position])
+            a_root = find(a_of[position])
+            if a_root != out_root:
+                parent[a_root] = out_root
+            b = b_of[position]
+            if b >= 0:
+                b_root = find(b)
+                out_root = find(out_of[position])
+                if b_root != out_root:
+                    parent[b_root] = out_root
+
+        component_of_root = [-1] * self.n_wires
+        component_of = [0] * self.n_gates
+        components: List[List[int]] = []
+        for position in range(self.n_gates):
+            root = find(out_of[position])
+            index = component_of_root[root]
+            if index < 0:
+                index = len(components)
+                component_of_root[root] = index
+                components.append([])
+            components[index].append(position)
+            component_of[position] = index
+        self._component_of = component_of
+        self._components = components
+        _counts["components"] += 1
+
+    @property
+    def components(self) -> List[List[int]]:
+        """Gate-position lists per connected component (do not mutate)."""
+        if self._components is None:
+            self._build_components()
+        return self._components
+
+    @property
+    def component_of(self) -> List[int]:
+        """Component index of each gate position."""
+        if self._component_of is None:
+            self._build_components()
+        return self._component_of
+
+    # ------------------------------------------------------------------
+    # Window-sync derived data (renamed form only)
+    # ------------------------------------------------------------------
+
+    def _require_renamed(self, what: str) -> None:
+        if not self.renamed:
+            raise CircuitError(
+                f"{what} requires the renamed (sequential-output) form"
+            )
+
+    def oor_flags(self, capacity: int) -> Tuple[List[bool], List[bool]]:
+        """Per-gate (a, b) out-of-range flags for an SWW of ``capacity``.
+
+        Inlines :meth:`SlidingWindow.is_oor` over the flat arrays:
+        operand ``w`` of gate ``p`` is OoR iff
+        ``w < max(0, ((n_inputs + p) // half - 1)) * half``.
+        """
+        self._require_renamed("OoR analysis")
+        cached = self._oor_flags.get(capacity)
+        if cached is not None:
+            return cached
+        half = capacity // 2
+        n_inputs = self.n_inputs
+        a_of, b_of = self.a_of, self.b_of
+        oor_a = [False] * self.n_gates
+        oor_b = [False] * self.n_gates
+        for position in range(self.n_gates):
+            start = ((n_inputs + position) // half - 1) * half
+            if start > 0:
+                if a_of[position] < start:
+                    oor_a[position] = True
+                if b_of[position] < start:
+                    oor_b[position] = True
+        flags = (oor_a, oor_b)
+        self._oor_flags[capacity] = flags
+        return flags
+
+    def engine_levels(
+        self, ge_of: List[int], n_ges: int, capacity: int
+    ) -> Tuple[List[int], int]:
+        """Schedule-aware dependence-level partition (see module doc)."""
+        self._require_renamed("the engine level partition")
+        return engine_levels(
+            self.n_inputs, capacity, self.a_of, self.b_of, ge_of, n_ges
+        )
+
+    # ------------------------------------------------------------------
+    # Pickle support (persisted on StreamSet through the program cache)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        # Keep cache entries lean: persist only the eager arrays (they
+        # are shared by reference with CompiledArrays in the same
+        # pickle, so the marginal size is near zero) and rebuild the
+        # derived memos on demand.  ``out_of`` is implicit in renamed
+        # form, which is the only form the program cache ever stores.
+        return {
+            "n_inputs": self.n_inputs,
+            "n_gates": self.n_gates,
+            "a_of": self.a_of,
+            "b_of": self.b_of,
+            "is_and": self.is_and,
+            "renamed": self.renamed,
+            "out_of": None if self.renamed else self.out_of,
+        }
+
+    def __setstate__(self, state):
+        self.n_inputs = state["n_inputs"]
+        self.n_gates = state["n_gates"]
+        self.n_wires = self.n_inputs + self.n_gates
+        self.a_of = state["a_of"]
+        self.b_of = state["b_of"]
+        self.is_and = state["is_and"]
+        self.renamed = state["renamed"]
+        out_of = state["out_of"]
+        if out_of is None:
+            n_inputs = self.n_inputs
+            out_of = [n_inputs + p for p in range(self.n_gates)]
+        self.out_of = out_of
+        self._wire_level = None
+        self._gate_level = None
+        self._reader_off = None
+        self._reader_pos = None
+        self._last_reader = None
+        self._component_of = None
+        self._components = None
+        self._oor_flags = {}
+
+
+def engine_levels(
+    n_inputs: int,
+    capacity: int,
+    a_of: List[int],
+    b_of: List[int],
+    ge_of: List[int],
+    n_ges: int,
+) -> Tuple[List[int], int]:
+    """Dependence-level partition consumed by the NumPy level replay.
+
+    The one definition of every ordering constraint the level-parallel
+    engine must respect (``CompiledArrays.ensure_levels`` projects this
+    function):
+
+    * **data**: instruction ``p`` reading wire ``w >= n_inputs`` runs
+      strictly after producer ``w - n_inputs``;
+    * **window-sync WAW** (the PR-5 evictor rule): ``p`` overwrites the
+      slot of wire ``n_inputs + p - capacity``, so it runs strictly
+      after that wire's *producer* ``p - capacity`` -- readers or not
+      (a reader-less wire would otherwise let the evicting write land
+      before its lagging producer and be stomped);
+    * **window-sync readers**: ``p`` also runs no earlier than every
+      reader of the evicted wire (their ``last_read_issue`` must be
+      final when ``p`` gathers it); conversely the **OoR
+      reader-after-evictor floor** -- a reader ``q > t`` of a wire
+      whose slot instruction ``t`` already overwrote (an OoR read
+      served by the queue) must not land in an earlier level than
+      ``t``, or its ``last_read_issue`` update would become visible to
+      ``t``'s gather when the scalar replay never saw it (equal levels
+      are fine: gathers read pre-level state);
+    * **in-order issue**: same-GE levels are non-decreasing in program
+      order (*equal* allowed -- within a level each GE's instructions
+      keep program order and chain through a segmented prefix-max).
+
+    One O(instructions) pass; constraints on the (unique) future
+    evicting instruction are pushed forward as operands are scanned, so
+    no reader lists are materialised.  Returns ``(level_of, n_levels)``.
+    """
+    n = len(a_of)
+    shift = capacity - n_inputs
+    level_of = [0] * n
+    ge_level = [0] * n_ges
+    ws_min = [0] * n
+    for p in range(n):
+        a = a_of[p]
+        b = b_of[p]
+        lvl = ws_min[p]
+        if a >= n_inputs:
+            la = level_of[a - n_inputs] + 1
+            if la > lvl:
+                lvl = la
+        if b >= n_inputs:
+            lb = level_of[b - n_inputs] + 1
+            if lb > lvl:
+                lvl = lb
+        ge = ge_of[p]
+        if ge_level[ge] > lvl:
+            lvl = ge_level[ge]
+        # Evictor after the evicted wire's producer (WAW on the slot):
+        # p overwrites the slot written by p - capacity.
+        tp = p - capacity
+        if tp >= 0 and level_of[tp] >= lvl:
+            lvl = level_of[tp] + 1
+        ta = a + shift
+        tb = b + shift
+        # Reader after evictor: don't outrun the overwriter's level.
+        if 0 <= ta < p and level_of[ta] > lvl:
+            lvl = level_of[ta]
+        if 0 <= tb < p and level_of[tb] > lvl:
+            lvl = level_of[tb]
+        level_of[p] = lvl
+        ge_level[ge] = lvl
+        # Reader before evictor: the future overwriter waits for us.
+        if p < ta < n and lvl >= ws_min[ta]:
+            ws_min[ta] = lvl + 1
+        if p < tb < n and lvl >= ws_min[tb]:
+            ws_min[tb] = lvl + 1
+    n_levels = (max(level_of) + 1) if n else 0
+    return level_of, n_levels
+
+
+def seed_graph(
+    circuit: Circuit, graph: DepGraph, wire_level_from: Optional[DepGraph] = None
+) -> DepGraph:
+    """Attach a freshly built graph to its circuit's instance memo.
+
+    ``wire_level_from`` transfers the (permutation-invariant) per-wire
+    ASAP levels from a source graph over the same wire ids -- the
+    reorder passes use it so the whole pipeline levels once.
+    """
+    if wire_level_from is not None and wire_level_from._wire_level is not None:
+        graph._wire_level = wire_level_from._wire_level
+    setattr(circuit, GRAPH_ATTR, graph)
+    return graph
+
+
+def dep_graph(circuit: Circuit, use_registry: bool = True) -> DepGraph:
+    """The (memoized) dependence graph of ``circuit``.
+
+    Looks up the circuit-instance memo first, then the digest-keyed
+    registry (equal circuits share one graph and all its derived data),
+    and builds -- which also validates the netlist -- on a full miss.
+    """
+    cached = getattr(circuit, GRAPH_ATTR, None)
+    if cached is not None:
+        return cached
+    digest = None
+    if use_registry:
+        from .progcache import circuit_digest
+
+        digest = circuit_digest(circuit)
+        with _registry_lock:
+            graph = _registry.get(digest)
+        if graph is not None:
+            setattr(circuit, GRAPH_ATTR, graph)
+            return graph
+    graph = DepGraph(circuit)
+    setattr(circuit, GRAPH_ATTR, graph)
+    if digest is not None:
+        with _registry_lock:
+            if digest not in _registry and len(_registry) >= _REGISTRY_MAX:
+                _registry.pop(next(iter(_registry)))
+            _registry[digest] = graph
+    return graph

@@ -14,8 +14,9 @@ window arithmetic to apply.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List
+from typing import List, Optional
 
+from ..depgraph import DepGraph
 from ..program import HaacProgram
 from ..sww import SlidingWindow
 
@@ -43,30 +44,48 @@ class EswReport:
 
 
 def eliminate_spent_wires(
-    program: HaacProgram, window: SlidingWindow
+    program: HaacProgram,
+    window: SlidingWindow,
+    graph: Optional[DepGraph] = None,
 ) -> tuple[HaacProgram, EswReport]:
     """Return a copy of ``program`` with minimal live bits.
 
     Instruction ``p`` (writing address ``o``) is live iff ``o`` is a
     circuit output, or some consumer instruction ``q`` reads ``o`` with
     its own output frontier at or past ``o``'s eviction point.
+
+    Consumer frontiers ``n_inputs + q`` ascend with ``q``, so only the
+    *last* reader of each wire has to be checked -- one gather from the
+    shared dependence graph's ``last_reader`` array.  ``graph`` is the
+    compiler-supplied graph of ``program.netlist`` (its construction
+    already validated the netlist, and :func:`HaacProgram.from_netlist`
+    checked the instruction correspondence, so the redundant
+    ``validate()`` round-trips are skipped); public callers may omit it
+    and keep the legacy validate-then-derive behaviour.
     """
-    program.validate()
+    if graph is None:
+        program.validate()
+        from ..depgraph import dep_graph
+
+        graph = dep_graph(program.netlist)
     n_inputs = program.n_inputs
-    live = [False] * len(program.instructions)
+    n = len(program.instructions)
+    live = [False] * n
 
-    output_set = set(program.outputs)
-    for position in range(len(program.instructions)):
-        if program.out_addr(position) in output_set:
+    for wire in program.outputs:
+        if wire >= n_inputs:
+            live[wire - n_inputs] = True
+
+    # live[p] iff wire n_inputs + p is read at or past its eviction
+    # frontier (wire // half + 2) * half -- by its last reader, whose
+    # frontier is the largest of all readers'.
+    half = window.half
+    last_reader = graph.last_reader
+    for position in range(n):
+        wire = n_inputs + position
+        reader = last_reader[wire]
+        if reader >= 0 and n_inputs + reader >= (wire // half + 2) * half:
             live[position] = True
-
-    for position, gate in enumerate(program.netlist.gates):
-        frontier = program.out_addr(position)
-        for wire in gate.inputs():
-            if wire < n_inputs:
-                continue  # primary inputs live in DRAM from the start
-            if frontier >= window.eviction_frontier(wire):
-                live[wire - n_inputs] = True
 
     instructions = [
         replace(instr, live=flag)
@@ -80,6 +99,5 @@ def eliminate_spent_wires(
         name=program.name,
         applied_passes=program.applied_passes + ["esw"],
     )
-    optimized.validate()
     report = EswReport(total_outputs=len(instructions), live=sum(live))
     return optimized, report

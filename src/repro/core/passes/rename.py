@@ -14,6 +14,7 @@ sliding range, and output addresses vanish from the instruction encoding
 from __future__ import annotations
 
 from ...circuits.netlist import Circuit, Gate
+from ..depgraph import DepGraph, seed_graph
 
 __all__ = ["rename"]
 
@@ -40,5 +41,8 @@ def rename(circuit: Circuit) -> Circuit:
         gates=gates,
         name=circuit.name + "+rn",
     )
-    renamed.validate()
+    # Graph construction checks the same invariants as validate() and
+    # leaves the renamed program's dependence graph memoized for the
+    # ESW / stream-generation / engine consumers downstream.
+    seed_graph(renamed, DepGraph(renamed))
     return renamed

@@ -15,37 +15,57 @@ schemes trade parallelism against wire locality:
 Both are netlist-to-netlist transforms returning a new topologically
 valid :class:`Circuit` with gates permuted (wire ids unchanged; run
 renaming afterwards to restore the ISA's sequential-output form).
+
+All ordering data comes from the shared dependence graph
+(:mod:`repro.core.depgraph`): levels are read off ``graph.gate_level``
+instead of re-walking gate dataclasses, the DFS traversal uses the flat
+operand arrays instead of a producer dict, and every permuted circuit
+is validated *by graph construction* -- the new graph is seeded on the
+result (with the permutation-invariant wire levels transferred), so the
+next pipeline stage derives nothing twice.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ...circuits.netlist import Circuit
+from ..depgraph import DepGraph, dep_graph, seed_graph
 
 __all__ = ["full_reorder", "segment_reorder", "depth_first_order"]
 
 
-def _stable_level_sort(circuit: Circuit, start: int, stop: int) -> List[int]:
+def _stable_level_sort(
+    graph: DepGraph, start: int, stop: int
+) -> List[int]:
     """Positions [start, stop) sorted by gate level, stable.
 
     Levels are the global ASAP levels, so a dependent gate always has a
     strictly larger level than its producer and the sorted order remains
     topological within the window.
     """
-    levels = circuit.gate_levels()
-    return sorted(range(start, stop), key=lambda position: levels[position])
+    levels = graph.gate_level
+    return sorted(range(start, stop), key=levels.__getitem__)
 
 
-def _permute(circuit: Circuit, order: List[int], suffix: str) -> Circuit:
+def _permute(
+    circuit: Circuit,
+    order: List[int],
+    suffix: str,
+    source_graph: Optional[DepGraph] = None,
+) -> Circuit:
+    gates = circuit.gates
     reordered = Circuit(
         n_garbler_inputs=circuit.n_garbler_inputs,
         n_evaluator_inputs=circuit.n_evaluator_inputs,
         outputs=list(circuit.outputs),
-        gates=[circuit.gates[position] for position in order],
+        gates=[gates[position] for position in order],
         name=circuit.name + suffix,
     )
-    reordered.validate()
+    # Building the graph validates the permuted netlist (same invariants
+    # as Circuit.validate) and leaves it memoized for the next pass;
+    # wire levels are per-wire-id and survive any gate permutation.
+    seed_graph(reordered, DepGraph(reordered), wire_level_from=source_graph)
     return reordered
 
 
@@ -55,8 +75,9 @@ def full_reorder(circuit: Circuit) -> Circuit:
     Within a level the baseline order is preserved (stable sort), which
     keeps some residual locality and makes the pass deterministic.
     """
-    order = _stable_level_sort(circuit, 0, len(circuit.gates))
-    return _permute(circuit, order, "+ro")
+    graph = dep_graph(circuit)
+    order = _stable_level_sort(graph, 0, graph.n_gates)
+    return _permute(circuit, order, "+ro", graph)
 
 
 def depth_first_order(circuit: Circuit) -> Circuit:
@@ -67,15 +88,19 @@ def depth_first_order(circuit: Circuit) -> Circuit:
     circuit traversal, i.e., in tight producer-consumer relationships
     minimizing the distance between dependent gates", which keeps wire
     reuse local but starves in-order GEs of parallelism.  We reproduce it
-    with an iterative post-order DFS from the circuit outputs.
+    with an iterative post-order DFS from the circuit outputs, walking
+    the graph's flat operand/producer arrays.
     """
-    producer = {gate.out: position for position, gate in enumerate(circuit.gates)}
-    emitted = [False] * len(circuit.gates)
+    graph = dep_graph(circuit)
+    producer = graph.producer_index()
+    a_of, b_of = graph.a_of, graph.b_of
+    emitted = [False] * graph.n_gates
     order: List[int] = []
     for root in circuit.outputs:
-        if root not in producer:
+        root_position = producer[root]
+        if root_position < 0:
             continue
-        stack: List[tuple[int, bool]] = [(producer[root], False)]
+        stack: List[tuple[int, bool]] = [(root_position, False)]
         while stack:
             position, expanded = stack.pop()
             if emitted[position]:
@@ -85,17 +110,18 @@ def depth_first_order(circuit: Circuit) -> Circuit:
                 order.append(position)
                 continue
             stack.append((position, True))
-            gate = circuit.gates[position]
             # Push b then a so a's subtree is emitted first.
-            for wire in (gate.b, gate.a):
-                if wire in producer and not emitted[producer[wire]]:
-                    stack.append((producer[wire], False))
+            for wire in (b_of[position], a_of[position]):
+                if wire >= 0:
+                    source = producer[wire]
+                    if source >= 0 and not emitted[source]:
+                        stack.append((source, False))
     # Dead gates (no path to an output) keep their original order at the
     # end; they still execute on the hardware.
-    for position in range(len(circuit.gates)):
+    for position in range(graph.n_gates):
         if not emitted[position]:
             order.append(position)
-    return _permute(circuit, order, "+dfs")
+    return _permute(circuit, order, "+dfs", graph)
 
 
 def segment_reorder(circuit: Circuit, segment_size: int) -> Circuit:
@@ -107,8 +133,9 @@ def segment_reorder(circuit: Circuit, segment_size: int) -> Circuit:
     """
     if segment_size < 1:
         raise ValueError("segment size must be positive")
+    graph = dep_graph(circuit)
     order: List[int] = []
-    for start in range(0, len(circuit.gates), segment_size):
-        stop = min(start + segment_size, len(circuit.gates))
-        order.extend(_stable_level_sort(circuit, start, stop))
-    return _permute(circuit, order, "+seg")
+    for start in range(0, graph.n_gates, segment_size):
+        stop = min(start + segment_size, graph.n_gates)
+        order.extend(_stable_level_sort(graph, start, stop))
+    return _permute(circuit, order, "+seg", graph)

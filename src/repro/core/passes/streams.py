@@ -20,18 +20,34 @@ sentinel, so a logical wire ``w`` is encoded as ``(w % capacity) + 1``
 -- unique within any window because the window spans exactly
 ``capacity`` consecutive addresses.  The one lost SWW slot is negligible
 (paper section 3.3) and is not modelled in the capacity.
+
+Both the greedy mapping and the OoR analysis run on the shared
+dependence graph's flat arrays (:mod:`repro.core.depgraph`) instead of
+re-walking gate dataclasses; the graph rides along on the returned
+:class:`StreamSet` so the sim engines and the program cache reuse it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from ..depgraph import DepGraph, dep_graph
 from ..isa import HaacOp, Instruction, InstructionEncoding, encode_instruction
 from ..program import HaacProgram
 from ..sww import SlidingWindow
 
 __all__ = ["GeStreams", "StreamSet", "generate_streams", "ScheduleParams"]
+
+#: Greedy tie-break policies among GEs freeing at the same cycle (the
+#: schedule-search neighborhood's cheapest axis -- same program, same
+#: passes, different GE mapping):
+#:
+#: * ``producer`` -- prefer an operand's producer GE (dodges the
+#:   forwarding penalty); the paper-faithful default.
+#: * ``lowest``  -- always the lowest-indexed free GE.
+#: * ``highest`` -- the highest-indexed GE freeing at that cycle.
+TIE_BREAKS = ("producer", "lowest", "highest")
 
 
 @dataclass(frozen=True)
@@ -40,12 +56,22 @@ class ScheduleParams:
 
     Defaults follow the paper: single-cycle FreeXOR, deep Half-Gate
     pipelines (18-stage Evaluator, 21-stage Garbler), one extra cycle to
-    forward a wire between GEs.
+    forward a wire between GEs.  ``tie_break`` selects the greedy
+    tie-break policy (see :data:`TIE_BREAKS`); ``producer`` reproduces
+    the paper's schedule and is what every figure uses.
     """
 
     and_latency: int = 18
     xor_latency: int = 1
     cross_ge_forward: int = 1
+    tie_break: str = "producer"
+
+    def __post_init__(self) -> None:
+        if self.tie_break not in TIE_BREAKS:
+            raise ValueError(
+                f"unknown tie_break {self.tie_break!r}; expected one of "
+                f"{', '.join(TIE_BREAKS)}"
+            )
 
     @staticmethod
     def evaluator() -> "ScheduleParams":
@@ -99,7 +125,13 @@ class GeStreams:
 
 @dataclass
 class StreamSet:
-    """All compiler-generated streams for one program/config pair."""
+    """All compiler-generated streams for one program/config pair.
+
+    ``depgraph`` is the shared dependence graph of ``program.netlist``
+    (None only for hand-built stream sets); it is persisted with the
+    stream set through the program cache, sharing its operand arrays
+    with the engine's ``CompiledArrays`` in the same pickle.
+    """
 
     program: HaacProgram
     window: SlidingWindow
@@ -109,11 +141,18 @@ class StreamSet:
     issue_cycle: List[int]
     ges: List[GeStreams]
     makespan: int
+    depgraph: Optional[DepGraph] = None
 
     @property
     def oor_reads(self) -> int:
-        """Total wires streamed in through OoRW queues."""
-        return sum(len(ge.oor_addresses) for ge in self.ges)
+        """Total wires streamed in through OoRW queues (memoized --
+        batched scenario sweeps read this once per grid point)."""
+        cached = self.__dict__.get("_oor_reads_cache")
+        if cached is not None:
+            return cached
+        total = sum(len(ge.oor_addresses) for ge in self.ges)
+        self.__dict__["_oor_reads_cache"] = total
+        return total
 
     @property
     def live_writes(self) -> int:
@@ -126,7 +165,11 @@ class StreamSet:
 
 
 def _greedy_schedule(
-    program: HaacProgram, n_ges: int, params: ScheduleParams, capacity: int
+    program: HaacProgram,
+    n_ges: int,
+    params: ScheduleParams,
+    capacity: int,
+    graph: Optional[DepGraph] = None,
 ) -> Tuple[List[int], List[int], int]:
     """Assign each instruction to the next *non-stalled* GE, as the paper
     does ("mapping instructions from the program to non-stalled GEs each
@@ -137,8 +180,9 @@ def _greedy_schedule(
     that GE sits stalled -- head-of-line blocking, the behaviour that
     makes depth-first baseline programs slow on in-order GEs and
     level-order reordering valuable (paper section 4.2.1).  Among GEs
-    freeing at the same cycle, an operand's producer is preferred (it
-    dodges the forwarding penalty), then the lowest index.
+    freeing at the same cycle, ``params.tie_break`` decides: the default
+    prefers an operand's producer (it dodges the forwarding penalty),
+    then the lowest index.
 
     Returns (ge_of, issue_cycle, makespan).  ``done[w]`` is the cycle a
     wire's value exists (forwardable); primary inputs are ready at 0.
@@ -155,42 +199,58 @@ def _greedy_schedule(
     The hardware has no tags to detect this; the co-design contract
     makes the compiler responsible, exactly like the paper's "remains
     valid ... for at least the time it takes to process instructions
-    proportional to half of the SWW size" argument.
+    proportional to half of the SWW size" argument.  The same two edge
+    directions appear in :func:`repro.core.depgraph.engine_levels`,
+    which partitions this schedule for the level-parallel replay.
     """
     import heapq
 
+    if graph is None:
+        graph = dep_graph(program.netlist)
     n_inputs = program.n_inputs
-    done = [0] * program.n_wires
-    producer_ge = [-1] * program.n_wires
+    n = graph.n_gates
+    a_of = graph.a_of
+    b_of = graph.b_of
+    is_and = graph.is_and
+    and_latency = params.and_latency
+    xor_latency = params.xor_latency
+    penalty = params.cross_ge_forward
+    tie_break = params.tie_break
+    prefer_producer = tie_break == "producer"
+    prefer_highest = tie_break == "highest"
+
+    done = [0] * (n_inputs + n)
+    producer_ge = [-1] * (n_inputs + n)
     ge_free = [0] * n_ges
     # Lazy min-heap over (free_cycle, ge) to find the next-free GE.
     free_heap = [(0, ge) for ge in range(n_ges)]
     heapq.heapify(free_heap)
     ge_of: List[int] = []
     issue_cycle: List[int] = []
-    latency = {
-        HaacOp.AND: params.and_latency,
-        HaacOp.XOR: params.xor_latency,
-        HaacOp.NOP: 1,
-    }
-    penalty = params.cross_ge_forward
-    last_read_issue = [0] * program.n_wires
+    last_read_issue = [0] * (n_inputs + n)
 
-    for position, gate in enumerate(program.netlist.gates):
-        instr = program.instructions[position]
-        a, b = gate.a, gate.b
-        # Next-free GE (paper's non-stalled-GE policy).  Prefer an
-        # operand producer among GEs freeing at the same cycle.
+    for position in range(n):
+        a = a_of[position]
+        b = b_of[position]
+        # Next-free GE (paper's non-stalled-GE policy), then tie-break
+        # among GEs freeing at the same cycle.
         while free_heap and free_heap[0][0] != ge_free[free_heap[0][1]]:
             heapq.heappop(free_heap)
         accept_cycle, chosen = free_heap[0]
-        for wire in (a, b):
-            source = producer_ge[wire] if wire >= n_inputs else -1
-            if source >= 0 and ge_free[source] == accept_cycle:
-                chosen = source
-                break
+        if prefer_producer:
+            for wire in (a, b):
+                source = producer_ge[wire] if wire >= n_inputs else -1
+                if source >= 0 and ge_free[source] == accept_cycle:
+                    chosen = source
+                    break
+        elif prefer_highest:
+            for ge in range(n_ges - 1, chosen, -1):
+                if ge_free[ge] == accept_cycle:
+                    chosen = ge
+                    break
+        # "lowest": the heap's answer already is the lowest free index.
 
-        out = program.out_addr(position)
+        out = n_inputs + position
         evicted = out - capacity
         window_sync = last_read_issue[evicted] if evicted >= 0 else 0
 
@@ -210,7 +270,9 @@ def _greedy_schedule(
         issue_cycle.append(issue)
         ge_free[chosen] = issue + 1
         heapq.heappush(free_heap, (issue + 1, chosen))
-        done[out] = issue + latency[instr.op]
+        latency = and_latency if is_and[position] else xor_latency
+        finish = issue + latency
+        done[out] = finish
         producer_ge[out] = chosen
         # The write is the slot's first access: the instruction evicting
         # `out` must issue strictly after it, readers or not.
@@ -221,8 +283,8 @@ def _greedy_schedule(
 
     makespan = 0
     for position, issue in enumerate(issue_cycle):
-        instr = program.instructions[position]
-        finish = issue + latency[instr.op]
+        latency = and_latency if is_and[position] else xor_latency
+        finish = issue + latency
         if finish > makespan:
             makespan = finish
     return ge_of, issue_cycle, makespan
@@ -233,37 +295,46 @@ def generate_streams(
     window: SlidingWindow,
     n_ges: int,
     params: ScheduleParams | None = None,
+    graph: Optional[DepGraph] = None,
 ) -> StreamSet:
     """Run the full stream-generation pass.
 
-    ``program`` must be in renamed (sequential-output) form; validate()
-    is invoked to enforce that.  The returned :class:`StreamSet` contains
-    everything the functional machine and the timing simulator consume.
+    ``program`` must be in renamed (sequential-output) form.  When the
+    compiler supplies the netlist's dependence ``graph``, the graph's
+    construction already validated the netlist (and ``from_netlist``
+    the instruction correspondence), so the redundant ``validate()`` is
+    skipped; public callers without a graph keep the legacy check.  The
+    returned :class:`StreamSet` contains everything the functional
+    machine and the timing simulator consume, plus the graph itself.
     """
     if n_ges < 1:
         raise ValueError("need at least one GE")
-    program.validate()
+    if graph is None:
+        program.validate()
+        graph = dep_graph(program.netlist)
     params = params or ScheduleParams.evaluator()
 
     ge_of, issue_cycle, makespan = _greedy_schedule(
-        program, n_ges, params, window.capacity
+        program, n_ges, params, window.capacity, graph
     )
 
+    oor_a_flags, oor_b_flags = graph.oor_flags(window.capacity)
+    a_of = graph.a_of
+    b_of = graph.b_of
+    instructions = program.instructions
     ges = [GeStreams() for _ in range(n_ges)]
-    for position, gate in enumerate(program.netlist.gates):
-        instr = program.instructions[position]
+    for position in range(graph.n_gates):
         ge = ges[ge_of[position]]
-        out = program.out_addr(position)
-        a_oor = window.is_oor(gate.a, out)
-        b_oor = window.is_oor(gate.b, out)
-        ge.instructions.append(instr)
+        a_oor = oor_a_flags[position]
+        b_oor = oor_b_flags[position]
+        ge.instructions.append(instructions[position])
         ge.positions.append(position)
         ge.oor_a.append(a_oor)
         ge.oor_b.append(b_oor)
         if a_oor:
-            ge.oor_addresses.append(gate.a)
+            ge.oor_addresses.append(a_of[position])
         if b_oor:
-            ge.oor_addresses.append(gate.b)
+            ge.oor_addresses.append(b_of[position])
 
     return StreamSet(
         program=program,
@@ -274,4 +345,5 @@ def generate_streams(
         issue_cycle=issue_cycle,
         ges=ges,
         makespan=makespan,
+        depgraph=graph,
     )

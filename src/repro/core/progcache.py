@@ -93,7 +93,10 @@ CACHE_ENV_VAR = "REPRO_PROG_CACHE"
 #: partition) orders an evicting write after the evicted wire's
 #: *producer*, not just its readers, changing issue_cycle / level_of
 #: for affected programs.
-CACHE_SCHEMA = 3
+#: v4: entries carry the shared dependence graph (repro.core.depgraph)
+#: on the stream set, and the compile key covers the new greedy
+#: tie-break axis (ScheduleParams.tie_break, schedule search).
+CACHE_SCHEMA = 4
 
 _OFF_VALUES = ("0", "off", "none", "disabled", "false", "no")
 _ON_VALUES = ("1", "on", "default", "true", "yes", "auto")
@@ -183,6 +186,7 @@ def compile_key(
                 str(effective.and_latency),
                 str(effective.xor_latency),
                 str(effective.cross_ge_forward),
+                effective.tie_break,
                 str(effective_segment),
             )
         ).encode("ascii")
@@ -223,6 +227,7 @@ def shard_key(
                 str(effective.and_latency),
                 str(effective.xor_latency),
                 str(effective.cross_ge_forward),
+                effective.tie_break,
             )
         ).encode("ascii")
     )

@@ -159,81 +159,25 @@ class CompiledArrays:
     def ensure_levels(self) -> "CompiledArrays":
         """Compute (once) the dependence-level partition.
 
-        Level assignment must put every ordering constraint of the
-        replay across a level boundary so that one level can retire as
-        an array op:
-
-        * **data**: instruction ``p`` reading wire ``w >= n_inputs``
-          runs strictly after producer ``w - n_inputs``;
-        * **window-sync**: ``p`` overwrites the slot of wire
-          ``n_inputs + p - capacity``, so it runs strictly after every
-          program-order-earlier access of that wire -- its readers
-          (their ``last_read_issue`` must be final when ``p`` gathers
-          it) *and* its producer ``p - capacity`` (the write is the
-          slot's first access; without this a reader-less wire lets the
-          evictor land before its lagging producer -- a WAW slot
-          hazard); conversely a *later* reader ``q > t`` of a wire whose slot
-          instruction ``t`` already overwrote (an OoR read served by the
-          queue) must not land in an earlier level than ``t``, or its
-          ``last_read_issue`` update would become visible to ``t``'s
-          gather when the scalar replay never saw it (equal levels are
-          fine: gathers read pre-level state);
-        * **in-order issue**: same-GE levels are non-decreasing in
-          program order (*equal* is allowed -- within a level each GE's
-          instructions keep program order and chain through a segmented
-          prefix-max, see :func:`compute_cycles_numpy`).
-
-        One O(instructions) Python pass; window-sync constraints on the
-        (unique) future evicting instruction are pushed forward as
-        operands are scanned, so no reader lists are materialised.
+        A projection of the shared dependence graph's schedule-aware
+        level partition (:func:`repro.core.depgraph.engine_levels` --
+        the single definition of the data, window-sync WAW, OoR
+        reader-after-evictor and in-order-issue edges the level replay
+        must respect).  Persisted with the arrays through the program
+        cache, so warm runs never recompute it.
         """
         if self.level_of is not None:
             return self
-        n = self.n_instructions
-        n_inputs = self.n_inputs
-        shift = self.capacity - n_inputs
-        a_of = self.a_of
-        b_of = self.b_of
-        ge_of = self.ge_of
-        level_of = [0] * n
-        ge_level = [0] * self.n_ges
-        ws_min = [0] * n
-        for p in range(n):
-            a = a_of[p]
-            b = b_of[p]
-            lvl = ws_min[p]
-            if a >= n_inputs:
-                la = level_of[a - n_inputs] + 1
-                if la > lvl:
-                    lvl = la
-            if b >= n_inputs:
-                lb = level_of[b - n_inputs] + 1
-                if lb > lvl:
-                    lvl = lb
-            ge = ge_of[p]
-            if ge_level[ge] > lvl:
-                lvl = ge_level[ge]
-            # Evictor after the evicted wire's producer (WAW on the
-            # slot): p overwrites the slot written by p - capacity.
-            tp = p - self.capacity
-            if tp >= 0 and level_of[tp] >= lvl:
-                lvl = level_of[tp] + 1
-            ta = a + shift
-            tb = b + shift
-            # Reader after evictor: don't outrun the overwriter's level.
-            if 0 <= ta < p and level_of[ta] > lvl:
-                lvl = level_of[ta]
-            if 0 <= tb < p and level_of[tb] > lvl:
-                lvl = level_of[tb]
-            level_of[p] = lvl
-            ge_level[ge] = lvl
-            # Reader before evictor: the future overwriter waits for us.
-            if p < ta < n and lvl >= ws_min[ta]:
-                ws_min[ta] = lvl + 1
-            if p < tb < n and lvl >= ws_min[tb]:
-                ws_min[tb] = lvl + 1
-        self.level_of = level_of
-        self.n_levels = (max(level_of) + 1) if n else 0
+        from ..core.depgraph import engine_levels
+
+        self.level_of, self.n_levels = engine_levels(
+            self.n_inputs,
+            self.capacity,
+            self.a_of,
+            self.b_of,
+            self.ge_of,
+            self.n_ges,
+        )
         return self
 
     def __getstate__(self):
@@ -256,26 +200,40 @@ def compiled_arrays(streams: StreamSet) -> CompiledArrays:
     if cached is not None:
         return cached
     program = streams.program
-    gates = program.netlist.gates
     and_op = HaacOp.AND
     n = len(program.instructions)
-    oor_a = [False] * n
-    oor_b = [False] * n
-    for ge in streams.ges:
-        for local, position in enumerate(ge.positions):
-            if ge.oor_a[local]:
-                oor_a[position] = True
-            if ge.oor_b[local]:
-                oor_b[position] = True
+    graph = getattr(streams, "depgraph", None)
+    if graph is not None:
+        # Compiler-built stream sets carry the shared dependence graph:
+        # reuse its operand/op arrays (the lists are shared objects, so
+        # a pickled cache entry stores one copy) and its memoized OoR
+        # flags -- the exact flags stream generation scattered per GE.
+        a_of = graph.a_of
+        b_of = graph.b_of
+        is_and = graph.is_and
+        oor_a, oor_b = graph.oor_flags(streams.window.capacity)
+    else:
+        gates = program.netlist.gates
+        a_of = [gate.a for gate in gates]
+        b_of = [gate.b for gate in gates]
+        is_and = [instr.op is and_op for instr in program.instructions]
+        oor_a = [False] * n
+        oor_b = [False] * n
+        for ge in streams.ges:
+            for local, position in enumerate(ge.positions):
+                if ge.oor_a[local]:
+                    oor_a[position] = True
+                if ge.oor_b[local]:
+                    oor_b[position] = True
     arrays = CompiledArrays(
         n_inputs=program.n_inputs,
         n_wires=program.n_wires,
         n_ges=streams.n_ges,
         capacity=streams.window.capacity,
-        a_of=[gate.a for gate in gates],
-        b_of=[gate.b for gate in gates],
+        a_of=a_of,
+        b_of=b_of,
         ge_of=list(streams.ge_of),
-        is_and=[instr.op is and_op for instr in program.instructions],
+        is_and=is_and,
         live=[bool(instr.live) for instr in program.instructions],
         oor_a=oor_a,
         oor_b=oor_b,

@@ -34,6 +34,7 @@ from typing import List, Optional
 
 from ..circuits.netlist import Circuit, Gate
 from ..core.compiler import CacheSpec, OptLevel, compile_circuit
+from ..core.depgraph import dep_graph
 from ..core.progcache import circuit_digest, resolve_cache, shard_key
 from .config import HaacConfig
 from .engine import compiled_arrays
@@ -70,54 +71,20 @@ class MulticoreResult:
 
 
 def partition_components(circuit: Circuit) -> List[List[int]]:
-    """Connected components of the circuit's gate graph (union-find).
+    """Connected components of the circuit's gate graph.
 
     Gates sharing any wire (through operands or outputs) belong to one
     component; components are returned as gate-position lists in
-    topological (original) order.  Runs on flat arrays: one
-    path-halving union-find over the dense wire ids, then a single
-    bucketing pass keyed by dense root indices -- no per-gate dict or
-    method-call overhead.  The result is a pure function of the netlist
-    and is memoized on the instance (like ``and_level_schedule``), so a
-    core-count sweep partitions once.
+    topological (original) order.  The union-find now lives on the
+    shared dependence graph (:mod:`repro.core.depgraph`), which is
+    memoized both on the circuit instance and in a digest-keyed
+    registry -- so repeated ``simulate_multicore`` calls, and even
+    calls on a rebuilt-but-equal circuit, partition exactly once
+    (asserted by the warm-call counter test).  Callers receive fresh
+    lists (they sort and mutate them).
     """
-    cached = getattr(circuit, "_components_cache", None)
-    if cached is not None:
-        return [list(component) for component in cached]
-    parent = list(range(circuit.n_wires))
-
-    def find(x: int) -> int:
-        while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = parent[x]
-        return x
-
-    for gate in circuit.gates:
-        out_root = find(gate.out)
-        a_root = find(gate.a)
-        if a_root != out_root:
-            parent[a_root] = out_root
-        if gate.b >= 0:
-            b_root = find(gate.b)
-            out_root = find(gate.out)
-            if b_root != out_root:
-                parent[b_root] = out_root
-
-    # Dense root -> component-index mapping on a flat array, filled in
-    # first-seen (topological) order so the output matches the old
-    # dict-based grouping exactly.
-    component_of_root = [-1] * circuit.n_wires
-    components: List[List[int]] = []
-    for position, gate in enumerate(circuit.gates):
-        root = find(gate.out)
-        index = component_of_root[root]
-        if index < 0:
-            index = len(components)
-            component_of_root[root] = index
-            components.append([])
-        components[index].append(position)
-    circuit._components_cache = [list(component) for component in components]
-    return components
+    graph = dep_graph(circuit)
+    return [list(component) for component in graph.components]
 
 
 def _shard_circuit(circuit: Circuit, positions: List[int]) -> Circuit:

@@ -66,3 +66,39 @@ class TestMulticore:
     def test_invalid_core_count(self, config, mixed_circuit):
         with pytest.raises(ValueError):
             simulate_multicore(mixed_circuit, config, n_cores=0)
+
+
+class TestPartitionMemoization:
+    def test_repeat_calls_partition_once(self):
+        """The union-find lives on the memoized dependence graph: a
+        second partition_components (or simulate_multicore) call on the
+        same circuit must not re-derive components."""
+        from repro.core.depgraph import build_counts
+
+        built = get_workload("ReLU").build(k=8, width=8)
+        config = HaacConfig(n_ges=4, sww_bytes=16 * 1024, dram=HBM2)
+        first = partition_components(built.circuit)
+        before = build_counts()["components"]
+        second = partition_components(built.circuit)
+        simulate_multicore(built.circuit, config, n_cores=2)
+        assert build_counts()["components"] == before
+        assert second == first
+
+    def test_rebuilt_equal_circuit_hits_registry(self):
+        """A sweep that rebuilds the same workload partitions zero
+        extra times: the digest-keyed registry serves the graph."""
+        from repro.core.depgraph import build_counts
+
+        partition_components(get_workload("ReLU").build(k=8, width=8).circuit)
+        before = build_counts()["components"]
+        rebuilt = get_workload("ReLU").build(k=8, width=8).circuit
+        partition_components(rebuilt)
+        assert build_counts()["components"] == before
+
+    def test_callers_get_fresh_lists(self):
+        """simulate_multicore sorts/mutates its shards; the memoized
+        graph's component lists must never be aliased out."""
+        built = get_workload("ReLU").build(k=4, width=8)
+        first = partition_components(built.circuit)
+        first[0].append(-1)
+        assert partition_components(built.circuit)[0][-1] != -1

@@ -125,3 +125,65 @@ class TestSummary:
         assert summary["runtime_us"] > 0
         assert summary["cycles_per_gate"] > 0
         assert sim.gates_per_second > 0
+
+
+class TestTrafficBatch:
+    """The batched traffic walk must be bit-identical, per point, to the
+    serial single-config ledger (same charges, same order, same sums)."""
+
+    def _serial_ledger(self, streams, config):
+        # The pre-batching walk, charge for charge, as an independent
+        # reference (compute_traffic itself now routes via the batch).
+        from repro.core.sww import WIRE_BYTES
+        from repro.sim.config import OOR_ADDR_BYTES, TABLE_BYTES
+        from repro.sim.dram import BandwidthLedger
+
+        program = streams.program
+        ledger = BandwidthLedger()
+        ledger.charge("input_rd", program.n_inputs * WIRE_BYTES)
+        ledger.charge("instr_rd", len(program.instructions) * config.instr_bytes)
+        ledger.charge("table_rd", program.n_and * TABLE_BYTES)
+        ledger.charge("oorw_rd", streams.oor_reads * (WIRE_BYTES + OOR_ADDR_BYTES))
+        ledger.charge("live_wr", program.n_live * WIRE_BYTES)
+        return ledger
+
+    def _configs(self):
+        base = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+        return [
+            base,
+            base.variants(dram=[DDR4, HBM2])[0],
+            HaacConfig(n_ges=2, sww_bytes=64 * 16, role=Role.GARBLER),
+            HaacConfig(n_ges=8, sww_bytes=64 * 16),
+        ]
+
+    def test_batch_matches_serial_walk_per_point(self, mixed_circuit):
+        from repro.sim.timing import compute_traffic_batch
+
+        configs = self._configs()
+        result = compile_circuit(
+            mixed_circuit, configs[0].window, configs[0].n_ges,
+            opt=OptLevel.RO_RN_ESW, params=configs[0].schedule_params(),
+        )
+        ledgers = compute_traffic_batch(result.streams, configs)
+        assert len(ledgers) == len(configs)
+        for config, batched in zip(configs, ledgers):
+            serial = self._serial_ledger(result.streams, config)
+            # Bit-identical: same charge names in the same order, same
+            # per-stream byte counts, same totals.
+            assert list(batched.bytes_by_stream) == list(serial.bytes_by_stream)
+            assert batched.as_dict() == serial.as_dict()
+            assert batched.total_bytes == serial.total_bytes
+            single = compute_traffic(result.streams, config)
+            assert single.as_dict() == batched.as_dict()
+
+    def test_batch_ledgers_independent(self, mixed_circuit):
+        from repro.sim.timing import compute_traffic_batch
+
+        config = HaacConfig(n_ges=4, sww_bytes=64 * 16)
+        result = compile_circuit(
+            mixed_circuit, config.window, config.n_ges,
+            opt=OptLevel.RO_RN_ESW, params=config.schedule_params(),
+        )
+        first, second = compute_traffic_batch(result.streams, [config, config])
+        first.charge("input_rd", 1)
+        assert second.as_dict() != first.as_dict()
